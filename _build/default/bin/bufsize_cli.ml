@@ -1,0 +1,251 @@
+(* bufsize — command-line front end.
+
+   Subcommands:
+     info        describe a built-in architecture (topology, traffic, split)
+     size        run the CTMDP buffer sizing and print the allocation
+     simulate    simulate one allocation policy and print loss statistics
+     experiment  the paper's before/after/timeout comparison
+
+   Architectures: fig1 (the paper's sample), netproc (the 17-processor
+   evaluation platform), small (a fast two-bus demo). *)
+
+module B = Bufsize
+open Cmdliner
+
+(* ------------------------------------------------------- architectures *)
+
+let small_arch () =
+  let b = B.Topology.builder () in
+  let bus0 = B.Topology.add_bus b ~service_rate:3.0 "west" in
+  let bus1 = B.Topology.add_bus b ~service_rate:3.0 "east" in
+  let p0 = B.Topology.add_processor b ~bus:bus0 "A" in
+  let p1 = B.Topology.add_processor b ~bus:bus0 "B" in
+  let p2 = B.Topology.add_processor b ~bus:bus1 "C" in
+  let p3 = B.Topology.add_processor b ~bus:bus1 "D" in
+  ignore (B.Topology.add_bridge b ~between:(bus0, bus1) "br");
+  let topo = B.Topology.finalize b in
+  let traffic =
+    B.Traffic.create topo
+      [
+        { B.Traffic.src = p0; dst = p2; rate = 1.3 };
+        { B.Traffic.src = p1; dst = p0; rate = 0.8 };
+        { B.Traffic.src = p2; dst = p3; rate = 1.1 };
+        { B.Traffic.src = p3; dst = p1; rate = 0.7 };
+      ]
+  in
+  (topo, traffic)
+
+let load_arch arch file =
+  match file with
+  | Some path -> (
+      match Bufsize_soc.Spec_parser.parse_file path with
+      | Ok x -> x
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 1)
+  | None -> (
+      match arch with
+      | "fig1" -> B.Fig1.create ()
+      | "netproc" -> B.Netproc.create ()
+      | "amba" -> B.Amba.create ()
+      | "small" -> small_arch ()
+      | other ->
+          Format.eprintf "error: unknown architecture %S (use fig1, netproc, amba or small)@."
+            other;
+          exit 1)
+
+let arch_arg =
+  let doc = "Built-in architecture: fig1, netproc, amba, or small." in
+  Arg.(value & opt string "small" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let file_arg =
+  let doc = "Architecture description file (overrides --arch; see the Spec_parser format)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let budget_arg =
+  let doc = "Total buffer budget in words." in
+  Arg.(value & opt int 16 & info [ "b"; "budget" ] ~docv:"WORDS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let horizon_arg =
+  let doc = "Simulation horizon (time units)." in
+  Arg.(value & opt float 2000. & info [ "horizon" ] ~docv:"T" ~doc)
+
+let replications_arg =
+  let doc = "Number of independent replications." in
+  Arg.(value & opt int 10 & info [ "r"; "replications" ] ~docv:"N" ~doc)
+
+let max_states_arg =
+  let doc = "Per-subsystem CTMDP state-space cap." in
+  Arg.(value & opt int 64 & info [ "max-states" ] ~docv:"N" ~doc)
+
+let weights_arg =
+  let doc =
+    "Loss-importance weight for a processor, as NAME=FACTOR (repeatable). Weighted processors \
+     get finer models, costlier losses and more buffer space."
+  in
+  Arg.(value & opt_all string [] & info [ "w"; "weight" ] ~docv:"NAME=FACTOR" ~doc)
+
+(* Turn --weight P4=10 flags into a Sizing client-weight function. *)
+let weight_fn topo specs =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None ->
+          Format.eprintf "error: malformed weight %S (expected NAME=FACTOR)@." spec;
+          exit 1
+      | Some i -> (
+          let name = String.sub spec 0 i in
+          let factor = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match (B.Topology.find_processor topo name, float_of_string_opt factor) with
+          | exception Not_found ->
+              Format.eprintf "error: unknown processor %S in weight@." name;
+              exit 1
+          | _, None | _, Some 0. ->
+              Format.eprintf "error: bad weight factor %S@." factor;
+              exit 1
+          | p, Some f -> Hashtbl.replace table p f))
+    specs;
+  fun client ->
+    match client with
+    | B.Traffic.Proc_client p -> Option.value ~default:1. (Hashtbl.find_opt table p)
+    | B.Traffic.Bridge_client _ -> 1.
+
+(* ----------------------------------------------------------------- info *)
+
+let info_cmd =
+  let run arch file =
+    let topo, traffic = load_arch arch file in
+    Format.printf "%a@.@.%a@.@." B.Topology.pp topo B.Traffic.pp traffic;
+    let split = B.Splitting.split traffic in
+    Format.printf "%a@." (fun ppf -> B.Splitting.pp ppf topo) split
+  in
+  let doc = "Describe a built-in architecture: topology, traffic, bridge split." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ arch_arg $ file_arg)
+
+(* ----------------------------------------------------------------- size *)
+
+let size_cmd =
+  let run arch file budget max_states weights =
+    let topo, traffic = load_arch arch file in
+    let config =
+      {
+        (B.Sizing.default_config ~budget) with
+        B.Sizing.max_states;
+        client_weight = weight_fn topo weights;
+      }
+    in
+    let r = B.Sizing.run config traffic in
+    Format.printf "%a@.@.%a@.@." B.Sizing.pp_summary r
+      (fun ppf -> B.Buffer_alloc.pp topo ppf)
+      r.B.Sizing.allocation;
+    Array.iter
+      (fun (sol : B.Sizing.subsystem_solution) ->
+        let sub = B.Bus_model.subsystem sol.B.Sizing.model in
+        Format.printf "subsystem %s: %a@." sub.B.Splitting.bus_name B.Mdp.Kswitching.pp
+          sol.B.Sizing.switching)
+      r.B.Sizing.solutions
+  in
+  let doc = "Run the CTMDP buffer sizing and print the allocation." in
+  Cmd.v (Cmd.info "size" ~doc)
+    Term.(const run $ arch_arg $ file_arg $ budget_arg $ max_states_arg $ weights_arg)
+
+(* ------------------------------------------------------------- simulate *)
+
+let simulate_cmd =
+  let policy_arg =
+    let doc = "Allocation policy: uniform, proportional, or ctmdp." in
+    Arg.(value & opt string "uniform" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Timeout threshold for the timeout drop policy (0 = off)." in
+    Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"T" ~doc)
+  in
+  let run arch file budget policy timeout horizon seed max_states =
+    let _, traffic = load_arch arch file in
+    let allocation =
+      match policy with
+      | "uniform" -> B.Buffer_alloc.uniform traffic ~budget
+      | "proportional" -> B.Buffer_alloc.traffic_proportional traffic ~budget
+      | "ctmdp" ->
+          let config = { (B.Sizing.default_config ~budget) with B.Sizing.max_states } in
+          (B.Sizing.run config traffic).B.Sizing.allocation
+      | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
+    in
+    let spec =
+      {
+        (B.Sim_run.default_spec ~traffic ~allocation) with
+        B.Sim_run.horizon;
+        seed;
+        timeout = (if timeout > 0. then Some (B.Sim_run.Global timeout) else None);
+      }
+    in
+    let report = B.Sim_run.run spec in
+    Format.printf "%a@." B.Metrics.pp report
+  in
+  let doc = "Simulate one allocation policy and print loss statistics." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ arch_arg $ file_arg $ budget_arg $ policy_arg $ timeout_arg $ horizon_arg
+      $ seed_arg $ max_states_arg)
+
+(* ------------------------------------------------------------------ dot *)
+
+let dot_cmd =
+  let annotate_arg =
+    let doc = "Annotate nodes with a CTMDP allocation of this many words (0 = bare graph)." in
+    Arg.(value & opt int 0 & info [ "annotate" ] ~docv:"WORDS" ~doc)
+  in
+  let run arch file annotate max_states =
+    let topo, traffic = load_arch arch file in
+    if annotate <= 0 then print_string (B.Dot.topology topo)
+    else begin
+      let config =
+        { (B.Sizing.default_config ~budget:annotate) with B.Sizing.max_states }
+      in
+      let r = B.Sizing.run config traffic in
+      print_string (B.Dot.with_allocation topo traffic r.B.Sizing.allocation)
+    end
+  in
+  let doc = "Emit the architecture as Graphviz DOT (optionally with a sized allocation)." in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ arch_arg $ file_arg $ annotate_arg $ max_states_arg)
+
+(* ----------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let run arch file budget replications horizon seed max_states weights =
+    let topo, traffic = load_arch arch file in
+    let exp =
+      B.experiment ~budget ~replications ~horizon ~seed
+        ~config:
+          {
+            (B.Sizing.default_config ~budget) with
+            B.Sizing.max_states;
+            client_weight = weight_fn topo weights;
+          }
+        traffic
+    in
+    let outcome = B.size_and_evaluate exp in
+    Format.printf "%a@." B.pp_outcome outcome
+  in
+  let doc = "The paper's before/after/timeout loss comparison." in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(
+      const run $ arch_arg $ file_arg $ budget_arg $ replications_arg $ horizon_arg $ seed_arg
+      $ max_states_arg $ weights_arg)
+
+let () =
+  let doc = "CTMDP buffer insertion and optimal buffer sizing for SoC architectures" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "bufsize" ~version:"1.0.0" ~doc)
+          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; dot_cmd ]))

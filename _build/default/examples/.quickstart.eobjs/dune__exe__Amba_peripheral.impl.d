@@ -1,0 +1,1 @@
+examples/amba_peripheral.ml: Array Bufsize Format

@@ -1,0 +1,1 @@
+examples/bridged_soc.ml: Array Bufsize Format

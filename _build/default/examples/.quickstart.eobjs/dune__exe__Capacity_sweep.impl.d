@@ -1,0 +1,1 @@
+examples/capacity_sweep.ml: Bufsize Bufsize_numeric Format List

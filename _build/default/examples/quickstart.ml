@@ -1,0 +1,39 @@
+(* Quickstart: size the buffers of a two-bus SoC and compare losses.
+
+   Build a topology, attach Poisson flows, run the CTMDP sizing, and
+   re-simulate before/after — the library's happy path in ~40 lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module B = Bufsize
+
+let () =
+  (* 1. Describe the architecture: two buses joined by a bridge. *)
+  let builder = B.Topology.builder () in
+  let left = B.Topology.add_bus builder ~service_rate:3.0 "left" in
+  let right = B.Topology.add_bus builder ~service_rate:3.0 "right" in
+  let cpu = B.Topology.add_processor builder ~bus:left "cpu" in
+  let dsp = B.Topology.add_processor builder ~bus:left "dsp" in
+  let dma = B.Topology.add_processor builder ~bus:right "dma" in
+  let io = B.Topology.add_processor builder ~bus:right "io" in
+  ignore (B.Topology.add_bridge builder ~between:(left, right) "bridge");
+  let topo = B.Topology.finalize builder in
+
+  (* 2. Describe the traffic (Poisson request rates). *)
+  let traffic =
+    B.Traffic.create topo
+      [
+        { B.Traffic.src = cpu; dst = dma; rate = 1.0 };
+        { B.Traffic.src = dsp; dst = cpu; rate = 0.7 };
+        { B.Traffic.src = dma; dst = io; rate = 0.8 };
+        { B.Traffic.src = io; dst = dsp; rate = 0.6 };
+      ]
+  in
+  Format.printf "%a@.@.%a@.@." B.Topology.pp topo B.Traffic.pp traffic;
+
+  (* 3. Size 16 buffer words with the CTMDP method and evaluate. *)
+  let outcome = B.size_and_evaluate (B.experiment ~budget:16 ~replications:5 traffic) in
+  Format.printf "allocation chosen by the CTMDP method:@.%a@.@."
+    (fun ppf -> B.Buffer_alloc.pp topo ppf)
+    outcome.B.sizing.B.Sizing.allocation;
+  Format.printf "%a@." B.pp_outcome outcome

@@ -1,0 +1,1 @@
+lib/mdp/constrained.ml: Array Ctmdp Kswitching Lp_formulation Policy Policy_iteration

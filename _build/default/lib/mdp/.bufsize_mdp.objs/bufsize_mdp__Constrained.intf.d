@@ -1,0 +1,1 @@
+lib/mdp/constrained.mli: Ctmdp Kswitching Lp_formulation Policy_iteration

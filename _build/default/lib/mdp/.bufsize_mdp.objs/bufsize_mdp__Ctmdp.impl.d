@@ -1,0 +1,1 @@
+lib/mdp/ctmdp.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/mdp/ctmdp.mli: Format

@@ -1,0 +1,1 @@
+lib/mdp/kswitching.ml: Array Ctmdp Format List Policy

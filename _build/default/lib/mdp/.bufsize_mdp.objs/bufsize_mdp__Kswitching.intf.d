@@ -1,0 +1,1 @@
+lib/mdp/kswitching.mli: Ctmdp Format Policy

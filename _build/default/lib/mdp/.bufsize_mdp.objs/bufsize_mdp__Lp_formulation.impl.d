@@ -1,0 +1,1 @@
+lib/mdp/lp_formulation.ml: Array Bufsize_numeric Ctmdp Float List Policy Printf

@@ -1,0 +1,1 @@
+lib/mdp/lp_formulation.mli: Bufsize_numeric Ctmdp Policy

@@ -1,0 +1,1 @@
+lib/mdp/policy.ml: Array Bufsize_numeric Bufsize_prob Ctmdp Float List Printf

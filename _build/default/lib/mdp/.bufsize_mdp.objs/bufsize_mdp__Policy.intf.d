@@ -1,0 +1,1 @@
+lib/mdp/policy.mli: Bufsize_numeric Bufsize_prob Ctmdp

@@ -1,0 +1,1 @@
+lib/mdp/policy_iteration.ml: Array Bufsize_numeric Ctmdp List Policy

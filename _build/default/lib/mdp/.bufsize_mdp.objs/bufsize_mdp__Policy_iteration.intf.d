@@ -1,0 +1,1 @@
+lib/mdp/policy_iteration.mli: Bufsize_numeric Ctmdp Policy

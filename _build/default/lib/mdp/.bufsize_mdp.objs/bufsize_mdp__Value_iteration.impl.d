@@ -1,0 +1,1 @@
+lib/mdp/value_iteration.ml: Array Bufsize_numeric Ctmdp Float List Policy

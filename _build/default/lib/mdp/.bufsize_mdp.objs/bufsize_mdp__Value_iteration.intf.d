@@ -1,0 +1,1 @@
+lib/mdp/value_iteration.mli: Bufsize_numeric Ctmdp Policy

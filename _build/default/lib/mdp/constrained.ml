@@ -1,0 +1,62 @@
+type result = {
+  solved : Lp_formulation.solved;
+  switching : Kswitching.analysis;
+  policy_gain_check : float;
+}
+
+type outcome = Feasible of result | Infeasible | Unbounded
+
+let solve ?max_iter ~bounds m =
+  match Lp_formulation.solve ~extra_bounds:bounds ?max_iter m with
+  | Lp_formulation.Infeasible -> Infeasible
+  | Lp_formulation.Unbounded -> Unbounded
+  | Lp_formulation.Optimal solved ->
+      let switching =
+        Kswitching.analyze ~constraints:(Array.length bounds) m solved.Lp_formulation.policy
+      in
+      let check = Policy.evaluate m solved.Lp_formulation.policy in
+      Feasible { solved; switching; policy_gain_check = check.Policy.gain }
+
+let with_priced_extra m ~extra ~price =
+  Ctmdp.map_costs m (fun _ _ act -> act.Ctmdp.cost +. (price *. act.Ctmdp.extras.(extra)))
+
+let extra_usage m ~extra result =
+  let eval = Policy.evaluate m result.Policy_iteration.policy in
+  eval.Policy.extras.(extra)
+
+let solve_lagrangian ?(bisection_steps = 40) ?(price_hi = 1e6) ~budget ~extra m =
+  if extra < 0 || extra >= Ctmdp.num_extras m then
+    invalid_arg "Constrained.solve_lagrangian: extra index out of range";
+  let solve_at price =
+    let priced = with_priced_extra m ~extra ~price in
+    let r = Policy_iteration.solve priced in
+    (* Report the gain in terms of the original costs. *)
+    let eval = Policy.evaluate m r.Policy_iteration.policy in
+    (r, eval.Policy.gain)
+  in
+  let r0, _ = solve_at 0. in
+  if not r0.Policy_iteration.converged then None
+  else if extra_usage m ~extra r0 <= budget then Some (r0, 0.)
+  else begin
+    (* Find a price making the budget hold, then bisect the threshold. *)
+    let rec bracket price =
+      if price > price_hi then price_hi
+      else begin
+        let r, _ = solve_at price in
+        if extra_usage m ~extra r <= budget then price else bracket (price *. 4.)
+      end
+    in
+    let hi0 = bracket 1e-3 in
+    let rec bisect lo hi steps =
+      if steps = 0 then hi
+      else begin
+        let mid = (lo +. hi) /. 2. in
+        let r, _ = solve_at mid in
+        if extra_usage m ~extra r <= budget then bisect lo mid (steps - 1)
+        else bisect mid hi (steps - 1)
+      end
+    in
+    let price = bisect 0. hi0 bisection_steps in
+    let r, _ = solve_at price in
+    Some (r, price)
+  end

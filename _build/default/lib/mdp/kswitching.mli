@@ -1,0 +1,41 @@
+(** K-switching structure of constrained-optimal policies.
+
+    Feinberg's theorem (reference [1] of the paper): for a unichain CTMDP
+    with K average-cost constraints, there exists an optimal stationary
+    policy that randomizes between at most two actions in at most K states
+    and is deterministic elsewhere — a "K-(randomized) switching policy".
+    The paper uses this structure to turn LP state-action probabilities
+    into buffer-space requirements.
+
+    This module analyzes an occupation measure (or policy) and reports the
+    switching states, their action mixes, and whether the theoretical bound
+    holds for the given number of constraints. *)
+
+type switch = {
+  state : int;
+  state_label : string;
+  mix : (int * string * float) list;  (** (action index, label, probability) *)
+}
+
+type analysis = {
+  switches : switch list;  (** states with nontrivial randomization *)
+  num_randomized : int;
+  deterministic_states : int;
+  bound : int;  (** the K of the instance (number of constraints) *)
+  within_bound : bool;  (** [num_randomized <= bound] *)
+}
+
+val analyze : ?tol:float -> constraints:int -> Ctmdp.t -> Policy.t -> analysis
+(** [analyze ~constraints m p] inspects the policy's support.  [tol]
+    (default [1e-6]) is the probability below which an action is treated
+    as unused. *)
+
+val of_occupation :
+  ?tol:float -> ?mass_tol:float -> constraints:int -> Ctmdp.t -> float array array -> analysis
+(** Like {!analyze}, but working directly on the occupation measure:
+    states whose total occupation mass is below [mass_tol] (default
+    [1e-9]) are skipped — the conditional action probabilities of
+    an (almost) never-visited state are numerical noise, not policy
+    randomization. *)
+
+val pp : Format.formatter -> analysis -> unit

@@ -1,0 +1,222 @@
+module Lp = Bufsize_numeric.Lp
+
+type bound = { sense : Lp.sense; value : float }
+
+type solved = {
+  gain : float;
+  occupation : float array array;
+  policy : Policy.t;
+  extras : float array;
+  extra_duals : float array;
+  lp_iterations : int;
+}
+
+type outcome = Optimal of solved | Infeasible | Unbounded
+
+(* Shared plumbing: add one CTMDP block (variables, balance rows minus one,
+   normalization) to [lp].  Returns the variable handles as x.(s).(a) and a
+   function accumulating the extra-resource terms of the block. *)
+let add_block lp m ~prefix =
+  let n = Ctmdp.num_states m in
+  let x =
+    Array.init n (fun s ->
+        Array.init (Ctmdp.num_actions m s) (fun a ->
+            Lp.add_var ~name:(Printf.sprintf "%sx_%d_%d" prefix s a) lp))
+  in
+  (* Balance rows: terms.(s') collects q(s'|s,a) * x(s,a). *)
+  let balance_terms = Array.make n [] in
+  for s = 0 to n - 1 do
+    Array.iteri
+      (fun a v ->
+        let act = Ctmdp.action m s a in
+        let exit = Ctmdp.exit_rate act in
+        if exit > 0. then balance_terms.(s) <- (-.exit, v) :: balance_terms.(s);
+        List.iter
+          (fun (j, r) -> balance_terms.(j) <- (r, v) :: balance_terms.(j))
+          act.Ctmdp.transitions)
+      x.(s)
+  done;
+  (* Drop the last balance row (linearly dependent on the others). *)
+  for s = 0 to n - 2 do
+    Lp.add_constraint ~name:(Printf.sprintf "%sbal_%d" prefix s) lp balance_terms.(s) Lp.Eq 0.
+  done;
+  let normalization =
+    Array.to_list x |> List.concat_map (fun row -> Array.to_list row |> List.map (fun v -> (1., v)))
+  in
+  Lp.add_constraint ~name:(prefix ^ "norm") lp normalization Lp.Eq 1.;
+  x
+
+let objective_terms m x =
+  let terms = ref [] in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun a v ->
+          let c = (Ctmdp.action m s a).Ctmdp.cost in
+          if c <> 0. then terms := (c, v) :: !terms)
+        row)
+    x;
+  !terms
+
+let extra_terms m x k =
+  let terms = ref [] in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun a v ->
+          let e = (Ctmdp.action m s a).Ctmdp.extras.(k) in
+          if e <> 0. then terms := (e, v) :: !terms)
+        row)
+    x;
+  !terms
+
+let check_bounds m extra_bounds =
+  match extra_bounds with
+  | None -> ()
+  | Some bs ->
+      if Array.length bs <> Ctmdp.num_extras m then
+        invalid_arg "Lp_formulation: extra_bounds length mismatch"
+
+let build ?extra_bounds m =
+  check_bounds m extra_bounds;
+  let lp = Lp.create ~name:"ctmdp-average-cost" Lp.Minimize in
+  let x = add_block lp m ~prefix:"" in
+  (match extra_bounds with
+  | None -> ()
+  | Some bs ->
+      Array.iteri
+        (fun k b ->
+          Lp.add_constraint ~name:(Printf.sprintf "extra_%d" k) lp (extra_terms m x k) b.sense
+            b.value)
+        bs);
+  Lp.set_objective lp (objective_terms m x);
+  lp
+
+(* Extract occupation / extras / policy from raw LP values laid out as one
+   block's x.(s).(a) handles. *)
+let harvest m x values =
+  let occupation =
+    Array.map (Array.map (fun (v : Lp.var) -> Float.max 0. values.((v :> int)))) x
+  in
+  let extras = Array.make (Ctmdp.num_extras m) 0. in
+  let gain = ref 0. in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun a mass ->
+          let act = Ctmdp.action m s a in
+          gain := !gain +. (mass *. act.Ctmdp.cost);
+          Array.iteri (fun k e -> extras.(k) <- extras.(k) +. (mass *. e)) act.Ctmdp.extras)
+        row)
+    occupation;
+  (occupation, extras, !gain)
+
+let solve ?extra_bounds ?max_iter ?engine m =
+  check_bounds m extra_bounds;
+  let lp = Lp.create ~name:"ctmdp-average-cost" Lp.Minimize in
+  let x = add_block lp m ~prefix:"" in
+  let n_structural_rows = Lp.num_constraints lp in
+  (match extra_bounds with
+  | None -> ()
+  | Some bs ->
+      Array.iteri
+        (fun k b ->
+          Lp.add_constraint ~name:(Printf.sprintf "extra_%d" k) lp (extra_terms m x k) b.sense
+            b.value)
+        bs);
+  Lp.set_objective lp (objective_terms m x);
+  match Lp.solve ?max_iter ?engine lp with
+  | Lp.Infeasible -> Infeasible
+  | Lp.Unbounded -> Unbounded
+  | Lp.Optimal sol ->
+      let occupation, extras, gain = harvest m x sol.Lp.values in
+      let num_bounds = match extra_bounds with None -> 0 | Some bs -> Array.length bs in
+      let extra_duals =
+        Array.init num_bounds (fun k -> sol.Lp.duals.(n_structural_rows + k))
+      in
+      Optimal
+        {
+          gain;
+          occupation;
+          policy = Policy.of_occupation m occupation;
+          extras;
+          extra_duals;
+          lp_iterations = sol.Lp.iterations;
+        }
+
+type joint_solved = {
+  total_gain : float;
+  components : solved array;
+  shared_extras : float array;
+  shared_duals : float array;
+  joint_iterations : int;
+}
+
+type joint_outcome = Joint_optimal of joint_solved | Joint_infeasible | Joint_unbounded
+
+let solve_joint ?shared_bounds ?max_iter ?engine models =
+  if Array.length models = 0 then invalid_arg "Lp_formulation.solve_joint: no components";
+  let num_extras = Ctmdp.num_extras models.(0) in
+  Array.iter
+    (fun m ->
+      if Ctmdp.num_extras m <> num_extras then
+        invalid_arg "Lp_formulation.solve_joint: components disagree on extras")
+    models;
+  (match shared_bounds with
+  | Some bs when Array.length bs <> num_extras ->
+      invalid_arg "Lp_formulation.solve_joint: shared_bounds length mismatch"
+  | _ -> ());
+  let lp = Lp.create ~name:"ctmdp-joint" Lp.Minimize in
+  let blocks =
+    Array.mapi (fun i m -> add_block lp m ~prefix:(Printf.sprintf "b%d_" i)) models
+  in
+  let n_structural_rows = Lp.num_constraints lp in
+  (match shared_bounds with
+  | None -> ()
+  | Some bs ->
+      Array.iteri
+        (fun k b ->
+          let terms =
+            Array.to_list (Array.mapi (fun i m -> extra_terms m blocks.(i) k) models)
+            |> List.concat
+          in
+          Lp.add_constraint ~name:(Printf.sprintf "shared_%d" k) lp terms b.sense b.value)
+        bs);
+  let objective =
+    Array.to_list (Array.mapi (fun i m -> objective_terms m blocks.(i)) models) |> List.concat
+  in
+  Lp.set_objective lp objective;
+  match Lp.solve ?max_iter ?engine lp with
+  | Lp.Infeasible -> Joint_infeasible
+  | Lp.Unbounded -> Joint_unbounded
+  | Lp.Optimal sol ->
+      let components =
+        Array.mapi
+          (fun i m ->
+            let occupation, extras, gain = harvest m blocks.(i) sol.Lp.values in
+            {
+              gain;
+              occupation;
+              policy = Policy.of_occupation m occupation;
+              extras;
+              extra_duals = [||];
+              lp_iterations = sol.Lp.iterations;
+            })
+          models
+      in
+      let shared_extras = Array.make num_extras 0. in
+      Array.iter
+        (fun c -> Array.iteri (fun k e -> shared_extras.(k) <- shared_extras.(k) +. e) c.extras)
+        components;
+      let num_bounds = match shared_bounds with None -> 0 | Some bs -> Array.length bs in
+      let shared_duals =
+        Array.init num_bounds (fun k -> sol.Lp.duals.(n_structural_rows + k))
+      in
+      Joint_optimal
+        {
+          total_gain = Array.fold_left (fun acc c -> acc +. c.gain) 0. components;
+          components;
+          shared_extras;
+          shared_duals;
+          joint_iterations = sol.Lp.iterations;
+        }

@@ -1,0 +1,77 @@
+(** Linear-programming formulation of average-cost (constrained) CTMDPs.
+
+    Feinberg's occupation-measure LP (reference [1] of the paper): variables
+    [x(s,a) >= 0] represent the long-run fraction of time spent in state [s]
+    while using action [a].  The LP is
+
+    {v
+      minimize    sum c(s,a) x(s,a)
+      subject to  sum_a x(s',a) q_exit(s',a) = sum_{s,a} rate(s->s'|a) x(s,a)
+                  sum x(s,a) = 1
+                  sum r_k(s,a) x(s,a)  (<=|=|>=)  bound_k     (k = 1..K)
+      x >= 0
+    v}
+
+    One balance row is redundant and dropped.  An optimal basic solution
+    induces an optimal stationary policy that randomizes in at most K
+    states — the K-switching policy (see {!Kswitching}).
+
+    [solve_joint] assembles the block LP of several independent CTMDPs
+    (one balance+normalization block each) coupled only through shared
+    resource rows — exactly the paper's "all the equations shall be solved
+    in one go and not sequentially for each subsystem". *)
+
+type bound = {
+  sense : Bufsize_numeric.Lp.sense;
+  value : float;
+}
+
+type solved = {
+  gain : float;  (** optimal long-run average cost *)
+  occupation : float array array;  (** x(s,a) *)
+  policy : Policy.t;
+  extras : float array;  (** achieved time-average of each extra *)
+  extra_duals : float array;  (** multipliers of the resource rows *)
+  lp_iterations : int;
+}
+
+type outcome =
+  | Optimal of solved
+  | Infeasible
+  | Unbounded
+
+val build : ?extra_bounds:bound array -> Ctmdp.t -> Bufsize_numeric.Lp.t
+(** The LP model, exposed for inspection and benchmarks.  [extra_bounds]
+    must have length [Ctmdp.num_extras]; omitted means unconstrained. *)
+
+val solve :
+  ?extra_bounds:bound array ->
+  ?max_iter:int ->
+  ?engine:Bufsize_numeric.Lp.engine ->
+  Ctmdp.t ->
+  outcome
+(** Build and solve the LP for one CTMDP.  [engine] selects the dense or
+    sparse-revised simplex (see {!Bufsize_numeric.Lp.engine}). *)
+
+type joint_solved = {
+  total_gain : float;
+  components : solved array;  (** per-component results, same order *)
+  shared_extras : float array;  (** achieved totals across components *)
+  shared_duals : float array;
+  joint_iterations : int;
+}
+
+type joint_outcome =
+  | Joint_optimal of joint_solved
+  | Joint_infeasible
+  | Joint_unbounded
+
+val solve_joint :
+  ?shared_bounds:bound array ->
+  ?max_iter:int ->
+  ?engine:Bufsize_numeric.Lp.engine ->
+  Ctmdp.t array ->
+  joint_outcome
+(** One block LP over all components.  All components must agree on
+    [num_extras]; [shared_bounds] constrain the {e sums} of each extra
+    across components.  @raise Invalid_argument on mismatched extras. *)

@@ -1,0 +1,122 @@
+module Vec = Bufsize_numeric.Vec
+module Ctmc = Bufsize_prob.Ctmc
+module Rng = Bufsize_prob.Rng
+
+type t = { probs : float array array }
+
+let deterministic m choice =
+  if Array.length choice <> Ctmdp.num_states m then
+    invalid_arg "Policy.deterministic: choice length mismatch";
+  let probs =
+    Array.mapi
+      (fun s a ->
+        let k = Ctmdp.num_actions m s in
+        if a < 0 || a >= k then
+          invalid_arg (Printf.sprintf "Policy.deterministic: action %d out of range in state %d" a s);
+        Array.init k (fun i -> if i = a then 1. else 0.))
+      choice
+  in
+  { probs }
+
+let randomized m probs =
+  if Array.length probs <> Ctmdp.num_states m then
+    invalid_arg "Policy.randomized: row count mismatch";
+  let probs =
+    Array.mapi
+      (fun s row ->
+        if Array.length row <> Ctmdp.num_actions m s then
+          invalid_arg (Printf.sprintf "Policy.randomized: row %d length mismatch" s);
+        Array.iter (fun p -> if p < -1e-12 then invalid_arg "Policy.randomized: negative probability") row;
+        let total = Array.fold_left ( +. ) 0. row in
+        if Float.abs (total -. 1.) > 1e-6 then
+          invalid_arg (Printf.sprintf "Policy.randomized: row %d sums to %g" s total);
+        Array.map (fun p -> Float.max 0. p /. total) row)
+      probs
+  in
+  { probs }
+
+let uniform m =
+  let probs =
+    Array.init (Ctmdp.num_states m) (fun s ->
+        let k = Ctmdp.num_actions m s in
+        Array.make k (1. /. float_of_int k))
+  in
+  { probs }
+
+let prob p s a = p.probs.(s).(a)
+let action_probs p s = Array.copy p.probs.(s)
+
+let is_deterministic ?(tol = 1e-9) p =
+  Array.for_all
+    (fun row -> Array.exists (fun x -> Float.abs (x -. 1.) <= tol) row)
+    p.probs
+
+let randomized_states ?(tol = 1e-9) p =
+  let result = ref [] in
+  Array.iteri
+    (fun s row ->
+      let supported = Array.fold_left (fun acc x -> if x > tol then acc + 1 else acc) 0 row in
+      if supported > 1 then result := s :: !result)
+    p.probs;
+  List.rev !result
+
+let induced_ctmc m p =
+  let n = Ctmdp.num_states m in
+  let rates = ref [] in
+  for s = 0 to n - 1 do
+    Array.iteri
+      (fun a pa ->
+        if pa > 0. then
+          List.iter
+            (fun (j, r) -> rates := (s, j, pa *. r) :: !rates)
+            (Ctmdp.action m s a).Ctmdp.transitions)
+      p.probs.(s)
+  done;
+  Ctmc.of_rates n !rates
+
+let stationary m p = Ctmc.stationary (induced_ctmc m p)
+
+type evaluation = {
+  gain : float;
+  extras : float array;
+  occupation : float array array;
+  state_distribution : Vec.t;
+}
+
+let evaluate m p =
+  let pi = stationary m p in
+  let k = Ctmdp.num_extras m in
+  let gain = ref 0. in
+  let extras = Array.make k 0. in
+  let occupation =
+    Array.mapi
+      (fun s row ->
+        Array.mapi
+          (fun a pa ->
+            let x = pi.(s) *. pa in
+            let act = Ctmdp.action m s a in
+            gain := !gain +. (x *. act.Ctmdp.cost);
+            Array.iteri (fun i e -> extras.(i) <- extras.(i) +. (x *. e)) act.Ctmdp.extras;
+            x)
+          row)
+      p.probs
+  in
+  { gain = !gain; extras; occupation; state_distribution = pi }
+
+let of_occupation m x =
+  if Array.length x <> Ctmdp.num_states m then
+    invalid_arg "Policy.of_occupation: row count mismatch";
+  let probs =
+    Array.mapi
+      (fun s row ->
+        let k = Ctmdp.num_actions m s in
+        if Array.length row <> k then
+          invalid_arg (Printf.sprintf "Policy.of_occupation: row %d length mismatch" s);
+        let mass = Array.fold_left ( +. ) 0. row in
+        if mass > 1e-12 then Array.map (fun v -> Float.max 0. v /. mass) row
+        else Array.init k (fun i -> if i = 0 then 1. else 0.))
+      x
+  in
+  { probs }
+
+let sample_action rng p s = Rng.discrete rng p.probs.(s)

@@ -1,0 +1,94 @@
+module Mat = Bufsize_numeric.Mat
+module Vec = Bufsize_numeric.Vec
+module Lu = Bufsize_numeric.Lu
+
+type result = {
+  policy : Policy.t;
+  choice : int array;
+  gain : float;
+  bias : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+(* Unknowns: h(0..n-1) and g.  Equations: for each state s,
+   sum_j Q_sj h(j) - g = -c_s; plus h(0) = 0. *)
+let evaluate_deterministic m choice =
+  let n = Ctmdp.num_states m in
+  let a = Mat.zeros (n + 1) (n + 1) in
+  let b = Array.make (n + 1) 0. in
+  for s = 0 to n - 1 do
+    let act = Ctmdp.action m s choice.(s) in
+    let exit = Ctmdp.exit_rate act in
+    Mat.update a s s (fun x -> x -. exit);
+    List.iter (fun (j, r) -> Mat.update a s j (fun x -> x +. r)) act.Ctmdp.transitions;
+    Mat.set a s n (-1.);
+    b.(s) <- -.act.Ctmdp.cost
+  done;
+  Mat.set a n 0 1.;
+  (* b.(n) = 0: bias normalized at state 0 *)
+  let sol = Lu.solve a b in
+  let bias = Array.sub sol 0 n in
+  (sol.(n), bias)
+
+let improvement m bias =
+  Array.init (Ctmdp.num_states m) (fun s ->
+      let value a =
+        let act = Ctmdp.action m s a in
+        let exit = Ctmdp.exit_rate act in
+        let flow =
+          List.fold_left (fun acc (j, r) -> acc +. (r *. bias.(j))) 0. act.Ctmdp.transitions
+        in
+        act.Ctmdp.cost +. flow -. (exit *. bias.(s))
+      in
+      let k = Ctmdp.num_actions m s in
+      let best = ref 0 and best_val = ref (value 0) in
+      for a = 1 to k - 1 do
+        let v = value a in
+        if v < !best_val then begin
+          best := a;
+          best_val := v
+        end
+      done;
+      (!best, !best_val))
+
+let solve ?(max_iter = 1000) ?(tol = 1e-9) ?initial m =
+  let n = Ctmdp.num_states m in
+  let choice =
+    match initial with
+    | Some c ->
+        if Array.length c <> n then invalid_arg "Policy_iteration.solve: initial length mismatch";
+        Array.copy c
+    | None -> Array.make n 0
+  in
+  let rec loop choice iters =
+    let gain, bias = evaluate_deterministic m choice in
+    if iters >= max_iter then
+      { policy = Policy.deterministic m choice; choice; gain; bias; iterations = iters; converged = false }
+    else begin
+      let improved = improvement m bias in
+      (* Keep the incumbent action unless a strictly better one exists:
+         the standard tie-breaking that guarantees termination. *)
+      let next = Array.copy choice in
+      let changed = ref false in
+      Array.iteri
+        (fun s (best, best_val) ->
+          let incumbent =
+            let act = Ctmdp.action m s choice.(s) in
+            let exit = Ctmdp.exit_rate act in
+            let flow =
+              List.fold_left (fun acc (j, r) -> acc +. (r *. bias.(j))) 0. act.Ctmdp.transitions
+            in
+            act.Ctmdp.cost +. flow -. (exit *. bias.(s))
+          in
+          if best_val < incumbent -. tol then begin
+            next.(s) <- best;
+            changed := true
+          end)
+        improved;
+      if !changed then loop next (iters + 1)
+      else
+        { policy = Policy.deterministic m choice; choice; gain; bias; iterations = iters; converged = true }
+    end
+  in
+  loop choice 0

@@ -1,0 +1,30 @@
+(** Average-cost policy iteration for unichain CTMDPs.
+
+    Works directly in continuous time: for a stationary deterministic
+    policy [phi], the gain [g] and bias [h] solve
+
+    {v  c_phi - g 1 + Q_phi h = 0,   h(s0) = 0  v}
+
+    and the improvement step replaces [phi(s)] by the action minimizing
+    [c(s,a) + sum_j q(j|s,a) h(j)].  Unconstrained only — it serves as an
+    independent cross-check of the LP formulation (they must agree on the
+    gain) and as the inner solver of the Lagrangian decomposition. *)
+
+type result = {
+  policy : Policy.t;
+  choice : int array;  (** the deterministic action choice *)
+  gain : float;
+  bias : Bufsize_numeric.Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+val evaluate_deterministic : Ctmdp.t -> int array -> float * Bufsize_numeric.Vec.t
+(** Gain and bias of a deterministic policy (bias normalized at state 0).
+    @raise Bufsize_numeric.Lu.Singular if the induced chain is not
+    unichain (the evaluation system is singular). *)
+
+val solve : ?max_iter:int -> ?tol:float -> ?initial:int array -> Ctmdp.t -> result
+(** Policy iteration from [initial] (default: first action everywhere).
+    [tol] (default [1e-9]) is the improvement threshold guarding against
+    cycling on ties; [max_iter] defaults to [1000]. *)

@@ -1,0 +1,1 @@
+lib/numeric/lp.ml: Array Float Format List Printf Simplex Simplex_revised

@@ -1,0 +1,1 @@
+lib/numeric/lp.mli: Format Simplex

@@ -1,0 +1,1 @@
+lib/numeric/newton.ml: Array Float Lu Mat Vec

@@ -1,0 +1,1 @@
+lib/numeric/newton.mli: Mat Vec

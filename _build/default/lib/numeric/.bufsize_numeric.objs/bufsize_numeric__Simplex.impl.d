@@ -1,0 +1,1 @@
+lib/numeric/simplex.ml: Array Float Int Lu Mat Printf Sys

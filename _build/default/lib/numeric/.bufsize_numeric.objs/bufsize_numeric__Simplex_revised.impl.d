@@ -1,0 +1,1 @@
+lib/numeric/simplex_revised.ml: Array Float Int List Lu Mat Option Printf Simplex Sys

@@ -1,0 +1,1 @@
+lib/numeric/simplex_revised.mli: Simplex

@@ -1,0 +1,45 @@
+let largest_remainder ?(minimum = 0) ~budget weights =
+  let n = Array.length weights in
+  Array.iter (fun w -> if w < 0. then invalid_arg "Apportion: negative weight") weights;
+  if budget < minimum * n then invalid_arg "Apportion: budget below per-entry minimum";
+  if n = 0 then [||]
+  else begin
+    let spare = budget - (minimum * n) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    if total <= 0. then begin
+      if spare > 0 && budget > 0 then
+        (* No preference information: spread the spare evenly. *)
+        Array.init n (fun i -> minimum + (spare / n) + if i < spare mod n then 1 else 0)
+      else Array.make n minimum
+    end
+    else begin
+      let quota = Array.map (fun w -> float_of_int spare *. w /. total) weights in
+      let floors = Array.map (fun q -> int_of_float (Float.trunc q)) quota in
+      let assigned = Array.fold_left ( + ) 0 floors in
+      let leftover = spare - assigned in
+      let by_remainder =
+        List.init n (fun i -> i)
+        |> List.sort (fun i j ->
+               let ri = quota.(i) -. Float.trunc quota.(i)
+               and rj = quota.(j) -. Float.trunc quota.(j) in
+               match compare rj ri with 0 -> compare i j | c -> c)
+      in
+      let shares = Array.map (fun f -> f) floors in
+      List.iteri (fun rank i -> if rank < leftover then shares.(i) <- shares.(i) + 1) by_remainder;
+      Array.map2 (fun s _ -> s + minimum) shares weights
+    end
+  end
+
+let proportional_caps ?(minimum = 0) ~budget ~demands () =
+  Array.iter (fun d -> if d < 0 then invalid_arg "Apportion: negative demand") demands;
+  let base = Array.map (fun d -> Int.max minimum d) demands in
+  let used = Array.fold_left ( + ) 0 base in
+  if used < budget then begin
+    (* Meet every demand (with the floor) and spread the surplus. *)
+    let extra = largest_remainder ~budget:(budget - used) (Array.map float_of_int demands) in
+    Array.map2 ( + ) base extra
+  end
+  else if used = budget then base
+  else
+    (* Demands (or floors) exceed the budget: divide proportionally. *)
+    largest_remainder ~minimum ~budget (Array.map float_of_int demands)

@@ -1,0 +1,20 @@
+(** Integer apportionment of a budget according to real-valued weights.
+
+    Buffer sizing ends with "give each client an integer number of buffer
+    words summing to the total budget"; the largest-remainder method keeps
+    the integer allocation as close as possible to the real-valued target
+    while honouring per-client minima. *)
+
+val largest_remainder : ?minimum:int -> budget:int -> float array -> int array
+(** [largest_remainder ~budget weights] returns integer shares summing to
+    [budget], proportional to [weights] (which must be nonnegative, not all
+    zero unless [budget = 0]).  [minimum] (default [0]) is a per-entry floor;
+    [budget] must be at least [minimum * length].  Remainder ties are broken
+    by index for determinism.
+    @raise Invalid_argument on negative weights or impossible budgets. *)
+
+val proportional_caps :
+  ?minimum:int -> budget:int -> demands:int array -> unit -> int array
+(** Like {!largest_remainder} with integer demands as weights, but never
+    allocates more than each entry's demand when the budget allows meeting
+    all demands (surplus is then spread by largest remainder of demand). *)

@@ -1,0 +1,177 @@
+type var = int
+
+type sense = Le | Eq | Ge
+
+type direction = Minimize | Maximize
+
+type row = { terms : (float * var) list; sense : sense; rhs : float; row_name : string }
+
+type t = {
+  lp_name : string;
+  dir : direction;
+  mutable vars : int;
+  mutable var_names : string list;  (* reversed *)
+  mutable lower_bounds : float list;  (* reversed *)
+  mutable objective : (float * var) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?(name = "lp") dir =
+  { lp_name = name; dir; vars = 0; var_names = []; lower_bounds = []; objective = []; rows = [] }
+
+let name t = t.lp_name
+let direction t = t.dir
+
+let add_var ?name ?(lb = 0.) t =
+  let v = t.vars in
+  let vname = match name with Some n -> n | None -> Printf.sprintf "x%d" v in
+  t.vars <- v + 1;
+  t.var_names <- vname :: t.var_names;
+  t.lower_bounds <- lb :: t.lower_bounds;
+  v
+
+let add_vars ?(prefix = "x") t k =
+  Array.init k (fun i -> add_var ~name:(Printf.sprintf "%s%d" prefix i) t)
+
+let var_name t v = List.nth t.var_names (t.vars - 1 - v)
+let num_vars t = t.vars
+let num_constraints t = List.length t.rows
+
+let check_var t v fn =
+  if v < 0 || v >= t.vars then invalid_arg (Printf.sprintf "Lp.%s: unknown variable %d" fn v)
+
+let set_objective t terms =
+  List.iter (fun (_, v) -> check_var t v "set_objective") terms;
+  t.objective <- terms
+
+let add_constraint ?name t terms sense rhs =
+  List.iter (fun (_, v) -> check_var t v "add_constraint") terms;
+  let row_name =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" (List.length t.rows)
+  in
+  t.rows <- { terms; sense; rhs; row_name } :: t.rows
+
+type solution = {
+  objective : float;
+  values : float array;
+  duals : float array;
+  iterations : int;
+}
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let value sol (v : var) = sol.values.(v)
+
+(* Lowering.  Structural layout of standard-form columns:
+   - for each user variable: one column (shifted by its finite lower bound),
+     or two columns (positive/negative parts) when the variable is free;
+   - then one slack (Le) or surplus (Ge) column per inequality row. *)
+
+type col_map = Single of int * float (* column, shift *) | Split of int * int
+
+let to_standard t =
+  let lbs = Array.of_list (List.rev t.lower_bounds) in
+  let next_col = ref 0 in
+  let fresh () =
+    let c = !next_col in
+    incr next_col;
+    c
+  in
+  let cols =
+    Array.map
+      (fun lb ->
+        if lb = Float.neg_infinity then
+          let p = fresh () in
+          let m = fresh () in
+          Split (p, m)
+        else Single (fresh (), lb))
+      lbs
+  in
+  let rows = Array.of_list (List.rev t.rows) in
+  let slack_cols =
+    Array.map
+      (fun r -> match r.sense with Le -> Some (fresh (), 1.) | Ge -> Some (fresh (), -1.) | Eq -> None)
+      rows
+  in
+  let ncols = !next_col in
+  let nrows = Array.length rows in
+  let a = Array.make (nrows * ncols) 0. in
+  let b = Array.make nrows 0. in
+  let add_entry i col x = a.((i * ncols) + col) <- a.((i * ncols) + col) +. x in
+  Array.iteri
+    (fun i r ->
+      let rhs = ref r.rhs in
+      let add_term (coef, v) =
+        match cols.(v) with
+        | Single (col, shift) ->
+            add_entry i col coef;
+            if shift <> 0. then rhs := !rhs -. (coef *. shift)
+        | Split (p, m) ->
+            add_entry i p coef;
+            add_entry i m (-.coef)
+      in
+      List.iter add_term r.terms;
+      (match slack_cols.(i) with
+      | Some (col, sign) -> add_entry i col sign
+      | None -> ());
+      b.(i) <- !rhs)
+    rows;
+  let c = Array.make ncols 0. in
+  let obj_sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
+  List.iter
+    (fun (coef, v) ->
+      match cols.(v) with
+      | Single (col, _) -> c.(col) <- c.(col) +. (obj_sign *. coef)
+      | Split (p, m) ->
+          c.(p) <- c.(p) +. (obj_sign *. coef);
+          c.(m) <- c.(m) -. (obj_sign *. coef))
+    t.objective;
+  { Simplex.nrows; ncols; a; b; c }
+
+type engine = Dense | Revised
+
+let solve ?eps ?max_iter ?(engine = Dense) t =
+  let std = to_standard t in
+  let result =
+    match engine with
+    | Dense -> Simplex.solve ?eps ?max_iter std
+    | Revised -> Simplex_revised.solve ?eps ?max_iter std
+  in
+  match result with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal sol ->
+      let lbs = Array.of_list (List.rev t.lower_bounds) in
+      (* Recompute the column layout to invert the variable mapping. *)
+      let next_col = ref 0 in
+      let fresh () =
+        let c = !next_col in
+        incr next_col;
+        c
+      in
+      let values =
+        Array.map
+          (fun lb ->
+            if lb = Float.neg_infinity then
+              let p = fresh () in
+              let m = fresh () in
+              sol.Simplex.x.(p) -. sol.Simplex.x.(m)
+            else
+              let col = fresh () in
+              sol.Simplex.x.(col) +. lb)
+          lbs
+      in
+      let obj_sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
+      (* Objective constant from lower-bound shifts is reconstructed by
+         re-evaluating the user objective on the mapped values. *)
+      let objective =
+        List.fold_left (fun acc (coef, v) -> acc +. (coef *. values.(v))) 0. t.objective
+      in
+      let duals = Array.map (fun y -> obj_sign *. y) sol.Simplex.duals in
+      Optimal { objective; values; duals; iterations = sol.Simplex.iterations }
+
+let pp_outcome ppf = function
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Optimal s ->
+      Format.fprintf ppf "optimal: %.6g (%d iterations)" s.objective s.iterations

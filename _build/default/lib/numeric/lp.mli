@@ -1,0 +1,74 @@
+(** Linear-program model layer.
+
+    A small modelling API on top of {!Simplex}: named variables with lower
+    bounds, [<=]/[=]/[>=] rows, minimize or maximize.  The model is lowered
+    to standard form (slack and surplus variables, bound shifting, free
+    variables split into positive and negative parts) and the solution is
+    mapped back onto the user's variables.
+
+    This is the layer the CTMDP occupation-measure formulation is written
+    against ({!Bufsize_mdp.Lp_formulation}). *)
+
+type t
+(** A mutable LP under construction. *)
+
+type var = private int
+(** Variable handle, valid only for the model that created it. *)
+
+type sense = Le | Eq | Ge
+
+type direction = Minimize | Maximize
+
+val create : ?name:string -> direction -> t
+(** Fresh empty model. *)
+
+val name : t -> string
+
+val direction : t -> direction
+
+val add_var : ?name:string -> ?lb:float -> t -> var
+(** New variable with lower bound [lb] (default [0.]).
+    [lb = neg_infinity] declares a free variable. *)
+
+val add_vars : ?prefix:string -> t -> int -> var array
+(** [add_vars t k] adds [k] nonnegative variables at once. *)
+
+val var_name : t -> var -> string
+
+val num_vars : t -> int
+
+val num_constraints : t -> int
+
+val set_objective : t -> (float * var) list -> unit
+(** Linear objective; later coefficients for the same variable accumulate. *)
+
+val add_constraint : ?name:string -> t -> (float * var) list -> sense -> float -> unit
+(** [add_constraint t terms sense rhs] adds [sum terms (sense) rhs].
+    Duplicate variables inside [terms] accumulate. *)
+
+type solution = {
+  objective : float;
+  values : float array;  (** indexed by variable *)
+  duals : float array;  (** indexed by constraint, in insertion order *)
+  iterations : int;
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val value : solution -> var -> float
+
+type engine = Dense | Revised
+
+val solve : ?eps:float -> ?max_iter:int -> ?engine:engine -> t -> outcome
+(** Lower to standard form and solve.  [engine] selects the dense tableau
+    ({!Simplex.solve}, the default — battle-tested) or the sparse revised
+    simplex ({!Simplex_revised.solve} — faster on large sparse models such
+    as joint CTMDP occupation LPs). *)
+
+val to_standard : t -> Simplex.standard
+(** The lowered standard form (exposed for tests and benchmarks). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,118 @@
+type factorization = {
+  lu : Mat.t;  (* L below diagonal (unit diag implied), U on/above *)
+  perm : int array;  (* row permutation applied to the input *)
+  sign : float;  (* parity of the permutation, for det *)
+}
+
+exception Singular of int
+
+let factorize ?(pivot_tol = 1e-12) m =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Lu.factorize: matrix not square";
+  let n = m.Mat.rows in
+  let lu = Mat.copy m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: pick the largest |entry| in column k at/below row k *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot_row k) then pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      Mat.swap_rows lu k !pivot_row;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < pivot_tol then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          Mat.update lu i j (fun x -> x -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+(* The triangular solves are the hot loop of the simplex refactorization
+   (thousands of right-hand sides per refactor), hence the unsafe flat-array
+   accesses. *)
+let solve_factorized { lu; perm; _ } b =
+  let n = lu.Mat.rows in
+  if Array.length b <> n then invalid_arg "Lu.solve_factorized: dimension mismatch";
+  let data = lu.Mat.data in
+  let y = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution: L y = P b *)
+  for i = 0 to n - 1 do
+    let base = i * n in
+    let acc = ref (Array.unsafe_get y i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Array.unsafe_get data (base + j) *. Array.unsafe_get y j)
+    done;
+    Array.unsafe_set y i !acc
+  done;
+  (* back substitution: U x = y *)
+  for i = n - 1 downto 0 do
+    let base = i * n in
+    let acc = ref (Array.unsafe_get y i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Array.unsafe_get data (base + j) *. Array.unsafe_get y j)
+    done;
+    Array.unsafe_set y i (!acc /. Array.unsafe_get data (base + i))
+  done;
+  y
+
+let solve ?pivot_tol a b = solve_factorized (factorize ?pivot_tol a) b
+
+(* A' x = b with PA = LU: solve U' z = b (forward, diagonal from U), then
+   L' w = z (backward, unit diagonal), then undo the permutation. *)
+let solve_transposed { lu; perm; _ } b =
+  let n = lu.Mat.rows in
+  if Array.length b <> n then invalid_arg "Lu.solve_transposed: dimension mismatch";
+  let data = lu.Mat.data in
+  let z = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref (Array.unsafe_get z i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Array.unsafe_get data ((j * n) + i) *. Array.unsafe_get z j)
+    done;
+    Array.unsafe_set z i (!acc /. Array.unsafe_get data ((i * n) + i))
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref (Array.unsafe_get z i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Array.unsafe_get data ((j * n) + i) *. Array.unsafe_get z j)
+    done;
+    Array.unsafe_set z i !acc
+  done;
+  let x = Array.make n 0. in
+  for i = 0 to n - 1 do
+    x.(perm.(i)) <- z.(i)
+  done;
+  x
+
+let det { lu; sign; _ } =
+  let acc = ref sign in
+  for i = 0 to lu.Mat.rows - 1 do
+    acc := !acc *. Mat.get lu i i
+  done;
+  !acc
+
+let inverse ?pivot_tol m =
+  let n = m.Mat.rows in
+  let f = factorize ?pivot_tol m in
+  let inv = Mat.zeros n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let x = solve_factorized f e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j x.(i)
+    done
+  done;
+  inv
+
+let residual_norm a x b = Vec.norm_inf (Vec.sub (Mat.mul_vec a x) b)

@@ -1,0 +1,38 @@
+(** LU decomposition with partial pivoting, and the linear solves built on
+    top of it.
+
+    Used throughout the library: stationary distributions of CTMCs, the
+    policy-evaluation equations of average-cost policy iteration, and Newton
+    steps for the monolithic nonlinear formulation. *)
+
+type factorization
+(** Opaque PA = LU factorization of a square matrix. *)
+
+exception Singular of int
+(** Raised (with the offending elimination step) when the matrix is
+    numerically singular. *)
+
+val factorize : ?pivot_tol:float -> Mat.t -> factorization
+(** [factorize m] computes PA = LU with partial pivoting.  A pivot whose
+    magnitude is below [pivot_tol] (default [1e-12]) raises {!Singular}.
+    @raise Invalid_argument if [m] is not square. *)
+
+val solve_factorized : factorization -> Vec.t -> Vec.t
+(** Solves [A x = b] given the factorization of [A]. *)
+
+val solve : ?pivot_tol:float -> Mat.t -> Vec.t -> Vec.t
+(** [solve a b] factorizes and solves in one step. *)
+
+val solve_transposed : factorization -> Vec.t -> Vec.t
+(** [solve_transposed f b] solves [A' x = b] using the factorization of
+    [A] (PA = LU gives A' = U' L' P, two triangular solves and the inverse
+    permutation).  This is the BTRAN operation of the revised simplex. *)
+
+val det : factorization -> float
+(** Determinant of the factorized matrix. *)
+
+val inverse : ?pivot_tol:float -> Mat.t -> Mat.t
+(** Full inverse; prefer {!solve} when only a solve is needed. *)
+
+val residual_norm : Mat.t -> Vec.t -> Vec.t -> float
+(** [residual_norm a x b] is |Ax - b|_inf; cheap a-posteriori check. *)

@@ -1,0 +1,84 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.
+
+let init rows cols f =
+  let m = zeros rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rows =
+  let r = Array.length rows in
+  if r = 0 then invalid_arg "Mat.of_rows: no rows";
+  let c = Array.length rows.(0) in
+  if not (Array.for_all (fun row -> Array.length row = c) rows) then
+    invalid_arg "Mat.of_rows: ragged rows";
+  init r c (fun i j -> rows.(i).(j))
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let update m i j f = set m i j (f (get m i j))
+let copy m = { m with data = Array.copy m.data }
+let row m i = Array.sub m.data (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> get m i j)
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. v.(j))
+      done;
+      !acc)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let m = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  m
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: dimension mismatch";
+  { a with data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let scale x m = { m with data = Array.map (fun y -> x *. y) m.data }
+
+let swap_rows m i j =
+  if i <> j then
+    for k = 0 to m.cols - 1 do
+      let tmp = get m i k in
+      set m i k (get m j k);
+      set m j k tmp
+    done
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Vec.pp ppf (row m i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Dense row-major matrices of floats.
+
+    Sized for the problems this library solves: CTMC generators and LP
+    tableaux with up to a few thousand rows/columns.  No attempt is made at
+    cache blocking; clarity first. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row-major, length [rows * cols] *)
+}
+
+val create : int -> int -> float -> t
+(** [create rows cols x] is a [rows]x[cols] matrix filled with [x]. *)
+
+val zeros : int -> int -> t
+
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] has entry [f i j] at row [i], column [j]. *)
+
+val of_rows : float array array -> t
+(** Builds from an array of equal-length rows.
+    @raise Invalid_argument if rows have differing lengths or there are none. *)
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val update : t -> int -> int -> (float -> float) -> unit
+(** [update m i j f] sets entry [(i,j)] to [f] of its current value. *)
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+(** Fresh copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+(** Fresh copy of column [j]. *)
+
+val transpose : t -> t
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product.  @raise Invalid_argument on dimension mismatch. *)
+
+val mul : t -> t -> t
+(** Matrix-matrix product.  @raise Invalid_argument on dimension mismatch. *)
+
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+val swap_rows : t -> int -> int -> unit
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type report = {
+  converged : bool;
+  solution : Vec.t;
+  residual : float;
+  iterations : int;
+  singular_jacobian : bool;
+}
+
+let numeric_jacobian ?(h = 1e-7) f x =
+  let n = Vec.dim x in
+  let fx = f x in
+  let m = Vec.dim fx in
+  let jac = Mat.zeros m n in
+  for j = 0 to n - 1 do
+    let step = h *. Float.max 1. (Float.abs x.(j)) in
+    let xj = Vec.copy x in
+    xj.(j) <- xj.(j) +. step;
+    let fxj = f xj in
+    for i = 0 to m - 1 do
+      Mat.set jac i j ((fxj.(i) -. fx.(i)) /. step)
+    done
+  done;
+  jac
+
+let clip lower x =
+  match lower with
+  | None -> x
+  | Some lb -> Array.mapi (fun i v -> Float.max lb.(i) v) x
+
+let solve ?(max_iter = 200) ?(tol = 1e-9) ?(damped = true) ?jacobian ?lower ~f ~x0 () =
+  let jac_of = match jacobian with Some j -> j | None -> numeric_jacobian f in
+  let rec loop x iters =
+    let fx = f x in
+    let res = Vec.norm_inf fx in
+    if res <= tol then
+      { converged = true; solution = x; residual = res; iterations = iters; singular_jacobian = false }
+    else if iters >= max_iter || not (Float.is_finite res) then
+      { converged = false; solution = x; residual = res; iterations = iters; singular_jacobian = false }
+    else
+      match Lu.solve (jac_of x) (Vec.scale (-1.) fx) with
+      | exception Lu.Singular _ ->
+          { converged = false; solution = x; residual = res; iterations = iters; singular_jacobian = true }
+      | dx ->
+          if damped then begin
+            (* Halving line search on the residual norm; accept the last
+               candidate even without improvement so the iteration can
+               escape flat regions (and honestly report non-convergence). *)
+            let rec search alpha attempts =
+              let candidate = clip lower (Vec.add x (Vec.scale alpha dx)) in
+              let cres = Vec.norm_inf (f candidate) in
+              if cres < res || attempts >= 12 then candidate
+              else search (alpha /. 2.) (attempts + 1)
+            in
+            loop (search 1. 0) (iters + 1)
+          end
+          else loop (clip lower (Vec.add x dx)) (iters + 1)
+  in
+  loop (clip lower x0) 0

@@ -1,0 +1,38 @@
+(** Damped Newton iteration for square nonlinear systems [F(x) = 0].
+
+    Used by {!Bufsize_soc.Monolithic} to reproduce the paper's observation
+    that a generic nonlinear solver fails on the coupled (quadratic)
+    bus-bridge formulation, which motivates the split-into-linear-subsystems
+    method. *)
+
+type report = {
+  converged : bool;
+  solution : Vec.t;  (** last iterate, whether converged or not *)
+  residual : float;  (** |F(x)|_inf at the last iterate *)
+  iterations : int;
+  singular_jacobian : bool;  (** iteration aborted on a singular Jacobian *)
+}
+
+val numeric_jacobian : ?h:float -> (Vec.t -> Vec.t) -> Vec.t -> Mat.t
+(** Forward-difference Jacobian of [f] at [x] with step [h]
+    (default [1e-7] scaled by component magnitude). *)
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?damped:bool ->
+  ?jacobian:(Vec.t -> Mat.t) ->
+  ?lower:Vec.t ->
+  f:(Vec.t -> Vec.t) ->
+  x0:Vec.t ->
+  unit ->
+  report
+(** Newton iteration on [|F|_inf].  With [damped] (the default) each step
+    runs a halving line search on the residual norm; with [~damped:false]
+    the raw step is always taken — the behaviour of a plain generic solver,
+    which diverges on many nonlinear systems that the damped variant still
+    cracks.  [tol] (default [1e-9]) is the residual target, [max_iter]
+    defaults to [200].  When [jacobian] is omitted, {!numeric_jacobian} is
+    used.  When [lower] is given, iterates are clipped componentwise from
+    below (crude projection, enough to keep probability-like unknowns in
+    range). *)

@@ -1,0 +1,29 @@
+(** Sparse revised simplex — the scalable alternative to the dense tableau.
+
+    Same problem class and result types as {!Simplex} (standard form:
+    minimize [c'x] s.t. [A x = b], [x >= 0]), but instead of carrying the
+    full [m x (n+m)] tableau it maintains only:
+
+    - the sparse columns of [A];
+    - an LU factorization of the current basis, extended between
+      refactorizations by product-form {e eta} updates (FTRAN/BTRAN);
+    - the dense basic solution vector.
+
+    Per-pivot cost drops from [O(m (n+m))] dense row operations to
+    [O(m k + nnz)] (eta application plus sparse pricing), which is what
+    makes CTMDP occupation LPs beyond a few hundred states practical.
+
+    Shares the dense engine's anti-degeneracy strategy: perturbed
+    right-hand side during pivoting, a Harris-flavoured ratio test, and an
+    exact LU refinement against the true data at the end (with an
+    unperturbed retry when the perturbation manufactures infeasibility).
+
+    Cross-validated against {!Simplex} by the test-suite on random LPs and
+    on CTMDP instances. *)
+
+val solve :
+  ?eps:float -> ?max_iter:int -> ?refactor_every:int -> Simplex.standard -> Simplex.result
+(** [solve std] with [eps] (default [1e-9]) the reduced-cost tolerance,
+    [max_iter] (default [200_000]) the total pivot bound, and
+    [refactor_every] (default [64]) the eta-file length triggering basis
+    refactorization. *)

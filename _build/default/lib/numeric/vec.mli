@@ -1,0 +1,60 @@
+(** Dense vectors of floats.
+
+    A thin layer over [float array] providing the handful of operations the
+    rest of the numeric stack needs.  All operations allocate fresh vectors
+    unless the name ends in [_inplace]. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is a vector of length [n] filled with [x]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val zeros : int -> t
+(** [zeros n] is [create n 0.]. *)
+
+val dim : t -> int
+(** Length of the vector. *)
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val add : t -> t -> t
+(** Elementwise sum.  @raise Invalid_argument on dimension mismatch. *)
+
+val sub : t -> t -> t
+(** Elementwise difference.  @raise Invalid_argument on dimension mismatch. *)
+
+val scale : float -> t -> t
+(** [scale a v] multiplies every component by [a]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+(** Inner product.  @raise Invalid_argument on dimension mismatch. *)
+
+val sum : t -> float
+
+val norm_inf : t -> float
+(** Maximum absolute component (0 for the empty vector). *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val max_index : t -> int
+(** Index of the largest component; first one on ties.
+    @raise Invalid_argument on the empty vector. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [tol] (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[x0; x1; ...]] with 6 significant digits. *)

@@ -1,0 +1,1 @@
+lib/prob/birth_death.ml: Array Bufsize_numeric Ctmc

@@ -1,0 +1,1 @@
+lib/prob/birth_death.mli: Bufsize_numeric Ctmc

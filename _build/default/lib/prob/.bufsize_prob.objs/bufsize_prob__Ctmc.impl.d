@@ -1,0 +1,1 @@
+lib/prob/ctmc.ml: Array Bufsize_numeric Float List

@@ -1,0 +1,1 @@
+lib/prob/ctmc.mli: Bufsize_numeric

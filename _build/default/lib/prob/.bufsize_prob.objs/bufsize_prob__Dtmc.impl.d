@@ -1,0 +1,1 @@
+lib/prob/dtmc.ml: Array Bufsize_numeric Ctmc Float

@@ -1,0 +1,1 @@
+lib/prob/dtmc.mli: Bufsize_numeric Ctmc

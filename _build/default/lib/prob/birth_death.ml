@@ -1,0 +1,56 @@
+module Vec = Bufsize_numeric.Vec
+
+type t = { births : float array; deaths : float array }
+
+let create ~births ~deaths =
+  if Array.length births <> Array.length deaths then
+    invalid_arg "Birth_death.create: births and deaths lengths differ";
+  Array.iter (fun r -> if r < 0. then invalid_arg "Birth_death.create: negative birth rate") births;
+  Array.iter (fun r -> if r < 0. then invalid_arg "Birth_death.create: negative death rate") deaths;
+  { births; deaths }
+
+let mm1k ~lambda ~mu ~k =
+  if k <= 0 then invalid_arg "Birth_death.mm1k: capacity must be positive";
+  if lambda <= 0. || mu <= 0. then invalid_arg "Birth_death.mm1k: rates must be positive";
+  create ~births:(Array.make k lambda) ~deaths:(Array.make k mu)
+
+let states t = Array.length t.births + 1
+
+let to_ctmc t =
+  let n = states t in
+  let rates = ref [] in
+  for i = 0 to n - 2 do
+    if t.births.(i) > 0. then rates := (i, i + 1, t.births.(i)) :: !rates;
+    if t.deaths.(i) > 0. then rates := (i + 1, i, t.deaths.(i)) :: !rates
+  done;
+  Ctmc.of_rates n !rates
+
+let stationary t =
+  (* pi_{i+1} = pi_i * birth_i / death_i (product form). *)
+  let n = states t in
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for i = 0 to n - 2 do
+    pi.(i + 1) <- (if t.deaths.(i) > 0. then pi.(i) *. t.births.(i) /. t.deaths.(i) else 0.)
+  done;
+  let total = Vec.sum pi in
+  Array.map (fun p -> p /. total) pi
+
+module Mm1k = struct
+  let distribution ~lambda ~mu ~k = stationary (mm1k ~lambda ~mu ~k)
+
+  let blocking_probability ~lambda ~mu ~k = (distribution ~lambda ~mu ~k).(k)
+
+  let loss_rate ~lambda ~mu ~k = lambda *. blocking_probability ~lambda ~mu ~k
+
+  let mean_customers ~lambda ~mu ~k =
+    let pi = distribution ~lambda ~mu ~k in
+    let acc = ref 0. in
+    Array.iteri (fun i p -> acc := !acc +. (float_of_int i *. p)) pi;
+    !acc
+
+  let throughput ~lambda ~mu ~k = lambda *. (1. -. blocking_probability ~lambda ~mu ~k)
+
+  let mean_sojourn ~lambda ~mu ~k =
+    mean_customers ~lambda ~mu ~k /. throughput ~lambda ~mu ~k
+end

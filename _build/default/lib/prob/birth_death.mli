@@ -1,0 +1,43 @@
+(** Birth-death chains and M/M/1/K queue closed forms.
+
+    The single-client bus is exactly an M/M/1/K queue; the closed forms
+    here validate the CTMDP machinery, the LP solver and the discrete-event
+    simulator against each other. *)
+
+type t
+(** A birth-death chain on states [0..k]. *)
+
+val create : births:float array -> deaths:float array -> t
+(** [create ~births ~deaths] builds a chain with [k+1] states where
+    [births.(i)] is the rate [i -> i+1] (length [k]) and [deaths.(i)] the
+    rate [i+1 -> i] (length [k]).
+    @raise Invalid_argument on length mismatch or negative rates. *)
+
+val mm1k : lambda:float -> mu:float -> k:int -> t
+(** The M/M/1/K queue (arrival rate [lambda], service rate [mu],
+    capacity [k] customers including the one in service). *)
+
+val states : t -> int
+(** Number of states, [k+1]. *)
+
+val to_ctmc : t -> Ctmc.t
+
+val stationary : t -> Bufsize_numeric.Vec.t
+(** Product-form stationary distribution (computed directly, not via LU). *)
+
+(** Closed-form M/M/1/K metrics. *)
+module Mm1k : sig
+  val blocking_probability : lambda:float -> mu:float -> k:int -> float
+  (** Probability an arrival finds the system full (Erlang-like loss). *)
+
+  val loss_rate : lambda:float -> mu:float -> k:int -> float
+  (** [lambda * blocking_probability]: lost customers per unit time. *)
+
+  val mean_customers : lambda:float -> mu:float -> k:int -> float
+
+  val throughput : lambda:float -> mu:float -> k:int -> float
+  (** Accepted (= served, in steady state) customers per unit time. *)
+
+  val mean_sojourn : lambda:float -> mu:float -> k:int -> float
+  (** Mean time an accepted customer spends in the system (Little's law). *)
+end

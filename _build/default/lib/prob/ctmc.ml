@@ -1,0 +1,126 @@
+module Mat = Bufsize_numeric.Mat
+module Vec = Bufsize_numeric.Vec
+module Lu = Bufsize_numeric.Lu
+
+type t = { q : Mat.t }
+
+let of_rates n rates =
+  if n <= 0 then invalid_arg "Ctmc.of_rates: need at least one state";
+  let q = Mat.zeros n n in
+  List.iter
+    (fun (i, j, r) ->
+      if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Ctmc.of_rates: state out of range";
+      if i = j then invalid_arg "Ctmc.of_rates: self loop";
+      if r < 0. then invalid_arg "Ctmc.of_rates: negative rate";
+      Mat.update q i j (fun x -> x +. r))
+    rates;
+  for i = 0 to n - 1 do
+    let out = ref 0. in
+    for j = 0 to n - 1 do
+      if j <> i then out := !out +. Mat.get q i j
+    done;
+    Mat.set q i i (-. !out)
+  done;
+  { q }
+
+let of_generator m =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Ctmc.of_generator: not square";
+  let n = m.Mat.rows in
+  for i = 0 to n - 1 do
+    let sum = ref 0. in
+    for j = 0 to n - 1 do
+      let x = Mat.get m i j in
+      if i <> j && x < 0. then invalid_arg "Ctmc.of_generator: negative off-diagonal";
+      sum := !sum +. x
+    done;
+    if Float.abs !sum > 1e-8 then invalid_arg "Ctmc.of_generator: row does not sum to zero"
+  done;
+  { q = Mat.copy m }
+
+let dim t = t.q.Mat.rows
+let generator t = Mat.copy t.q
+let rate t i j = Mat.get t.q i j
+let exit_rate t i = -.Mat.get t.q i i
+
+let stationary t =
+  (* Solve pi Q = 0 with the last balance equation replaced by sum pi = 1:
+     transpose to Q' pi' = 0 and overwrite the final row with ones. *)
+  let n = dim t in
+  if n = 1 then [| 1. |]
+  else begin
+    let a = Mat.transpose t.q in
+    for j = 0 to n - 1 do
+      Mat.set a (n - 1) j 1.
+    done;
+    let b = Array.make n 0. in
+    b.(n - 1) <- 1.;
+    let pi = Lu.solve a b in
+    (* Clamp the tiny negatives produced by roundoff and renormalize. *)
+    let pi = Array.map (fun p -> Float.max 0. p) pi in
+    let total = Vec.sum pi in
+    Array.map (fun p -> p /. total) pi
+  end
+
+let is_irreducible t =
+  let n = dim t in
+  let reaches from =
+    let seen = Array.make n false in
+    let rec dfs i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        for j = 0 to n - 1 do
+          if j <> i && Mat.get t.q i j > 0. then dfs j
+        done
+      end
+    in
+    dfs from;
+    Array.for_all (fun b -> b) seen
+  in
+  let rec check i = i >= n || (reaches i && check (i + 1)) in
+  check 0
+
+let uniformization_rate t =
+  let n = dim t in
+  let m = ref 0. in
+  for i = 0 to n - 1 do
+    m := Float.max !m (exit_rate t i)
+  done;
+  (!m *. 1.0000001) +. 1e-12
+
+let uniformize ?rate t =
+  let lambda = match rate with Some r -> r | None -> uniformization_rate t in
+  let n = dim t in
+  Mat.init n n (fun i j ->
+      let base = if i = j then 1. else 0. in
+      base +. (Mat.get t.q i j /. lambda))
+
+let transient t pi0 horizon =
+  if horizon < 0. then invalid_arg "Ctmc.transient: negative horizon";
+  let n = dim t in
+  if Vec.dim pi0 <> n then invalid_arg "Ctmc.transient: distribution size mismatch";
+  let lambda = uniformization_rate t in
+  let p = uniformize ~rate:lambda t in
+  let pt = Mat.transpose p in
+  let mean = lambda *. horizon in
+  (* Truncate the Poisson sum when the accumulated mass is within 1e-12. *)
+  let result = Vec.zeros n in
+  let term = ref (Vec.copy pi0) in
+  let weight = ref (exp (-.mean)) in
+  let accumulated = ref 0. in
+  let k = ref 0 in
+  let max_terms = 16 + int_of_float (mean +. (8. *. sqrt (mean +. 1.))) in
+  while !accumulated < 1. -. 1e-12 && !k <= max_terms do
+    Vec.axpy !weight !term result;
+    accumulated := !accumulated +. !weight;
+    term := Mat.mul_vec pt !term;
+    incr k;
+    weight := !weight *. mean /. float_of_int !k
+  done;
+  (* Renormalize the truncation remainder. *)
+  let total = Vec.sum result in
+  if total > 0. then Vec.scale (1. /. total) result else result
+
+let expected_value _t pi f =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (p *. f i)) pi;
+  !acc

@@ -1,0 +1,56 @@
+(** Finite continuous-time Markov chains.
+
+    A CTMC is represented by its generator matrix [Q]: off-diagonal entries
+    are nonnegative transition rates, each diagonal entry is minus its row
+    sum.  The stationary distribution solves [pi Q = 0], [sum pi = 1]; it is
+    the analytic backbone of policy evaluation and of the translation from
+    CTMDP policies to buffer occupancy distributions. *)
+
+type t
+(** A validated generator. *)
+
+val of_rates : int -> (int * int * float) list -> t
+(** [of_rates n rates] builds an [n]-state generator from
+    [(from, to, rate)] triples (accumulating duplicates; diagonal computed).
+    @raise Invalid_argument on negative rates, self loops, or out-of-range
+    states. *)
+
+val of_generator : Bufsize_numeric.Mat.t -> t
+(** Validates an explicit generator matrix: square, nonnegative
+    off-diagonal, rows summing to (numerically) zero. *)
+
+val dim : t -> int
+
+val generator : t -> Bufsize_numeric.Mat.t
+(** A copy of the generator matrix. *)
+
+val rate : t -> int -> int -> float
+(** [rate t i j] with [i <> j] is the transition rate. *)
+
+val exit_rate : t -> int -> float
+(** Total rate out of a state ([-Q_ii]). *)
+
+val stationary : t -> Bufsize_numeric.Vec.t
+(** Stationary distribution.  Solves the balance equations with one
+    replaced by the normalization row (LU).  For chains that are not
+    irreducible the result is a stationary distribution of one closed
+    class as selected by the linear solve.
+    @raise Bufsize_numeric.Lu.Singular on pathological generators. *)
+
+val is_irreducible : t -> bool
+(** Graph check: every state reaches every other along positive rates. *)
+
+val uniformization_rate : t -> float
+(** Smallest valid uniformization constant, [max_i exit_rate + epsilon]. *)
+
+val uniformize : ?rate:float -> t -> Bufsize_numeric.Mat.t
+(** Discrete-time transition matrix [P = I + Q/rate]; [rate] defaults to
+    {!uniformization_rate}. *)
+
+val transient : t -> Bufsize_numeric.Vec.t -> float -> Bufsize_numeric.Vec.t
+(** [transient t pi0 horizon] is the distribution at time [horizon] from
+    initial distribution [pi0], via uniformization with adaptive Poisson
+    truncation. *)
+
+val expected_value : t -> Bufsize_numeric.Vec.t -> (int -> float) -> float
+(** [expected_value t pi f] is [sum_i pi_i f(i)]. *)

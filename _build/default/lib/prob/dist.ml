@@ -1,0 +1,63 @@
+type t =
+  | Exponential of float
+  | Erlang of int * float
+  | Deterministic of float
+  | Uniform of float * float
+
+let exponential rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  Exponential rate
+
+let erlang k rate =
+  if k <= 0 then invalid_arg "Dist.erlang: shape must be positive";
+  if rate <= 0. then invalid_arg "Dist.erlang: rate must be positive";
+  Erlang (k, rate)
+
+let deterministic x =
+  if x < 0. then invalid_arg "Dist.deterministic: negative value";
+  Deterministic x
+
+let uniform lo hi =
+  if lo < 0. || hi <= lo then invalid_arg "Dist.uniform: need 0 <= lo < hi";
+  Uniform (lo, hi)
+
+let mean = function
+  | Exponential rate -> 1. /. rate
+  | Erlang (k, rate) -> float_of_int k /. rate
+  | Deterministic x -> x
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+
+let variance = function
+  | Exponential rate -> 1. /. (rate *. rate)
+  | Erlang (k, rate) -> float_of_int k /. (rate *. rate)
+  | Deterministic _ -> 0.
+  | Uniform (lo, hi) ->
+      let w = hi -. lo in
+      w *. w /. 12.
+
+let rate d =
+  let m = mean d in
+  if m <= 0. then infinity else 1. /. m
+
+let sample rng = function
+  | Exponential r -> Rng.exponential rng ~rate:r
+  | Erlang (k, r) ->
+      let acc = ref 0. in
+      for _ = 1 to k do
+        acc := !acc +. Rng.exponential rng ~rate:r
+      done;
+      !acc
+  | Deterministic x -> x
+  | Uniform (lo, hi) -> Rng.float_range rng lo hi
+
+let scale_rate f = function
+  | Exponential r -> Exponential (r *. f)
+  | Erlang (k, r) -> Erlang (k, r *. f)
+  | Deterministic x -> Deterministic (x /. f)
+  | Uniform (lo, hi) -> Uniform (lo /. f, hi /. f)
+
+let pp ppf = function
+  | Exponential r -> Format.fprintf ppf "Exp(%.4g)" r
+  | Erlang (k, r) -> Format.fprintf ppf "Erlang(%d, %.4g)" k r
+  | Deterministic x -> Format.fprintf ppf "Det(%.4g)" x
+  | Uniform (lo, hi) -> Format.fprintf ppf "U[%.4g, %.4g)" lo hi

@@ -1,0 +1,35 @@
+(** Holding-time distributions for traffic and service models.
+
+    The paper's model is exponential throughout; [Erlang] and
+    [Deterministic] are provided for sensitivity experiments (the CTMDP
+    abstraction assumes memorylessness, the simulator does not). *)
+
+type t =
+  | Exponential of float  (** rate *)
+  | Erlang of int * float  (** shape k, rate per stage *)
+  | Deterministic of float  (** constant value *)
+  | Uniform of float * float  (** [lo, hi) *)
+
+val mean : t -> float
+
+val variance : t -> float
+
+val rate : t -> float
+(** [1 / mean]; the effective event rate of the distribution. *)
+
+val sample : Rng.t -> t -> float
+
+val exponential : float -> t
+(** @raise Invalid_argument on nonpositive rate. *)
+
+val erlang : int -> float -> t
+
+val deterministic : float -> t
+
+val uniform : float -> float -> t
+
+val scale_rate : float -> t -> t
+(** [scale_rate f d] speeds the distribution up by factor [f]
+    (mean divided by [f]). *)
+
+val pp : Format.formatter -> t -> unit

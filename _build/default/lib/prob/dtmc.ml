@@ -1,0 +1,60 @@
+module Mat = Bufsize_numeric.Mat
+module Vec = Bufsize_numeric.Vec
+module Lu = Bufsize_numeric.Lu
+
+type t = { p : Mat.t }
+
+let of_matrix m =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Dtmc.of_matrix: not square";
+  for i = 0 to m.Mat.rows - 1 do
+    let sum = ref 0. in
+    for j = 0 to m.Mat.cols - 1 do
+      let x = Mat.get m i j in
+      if x < -1e-12 || x > 1. +. 1e-9 then invalid_arg "Dtmc.of_matrix: entry out of [0,1]";
+      sum := !sum +. x
+    done;
+    if Float.abs (!sum -. 1.) > 1e-8 then invalid_arg "Dtmc.of_matrix: row does not sum to one"
+  done;
+  { p = Mat.copy m }
+
+let embedded_of_ctmc c =
+  let n = Ctmc.dim c in
+  let p =
+    Mat.init n n (fun i j ->
+        let exit = Ctmc.exit_rate c i in
+        if exit <= 0. then if i = j then 1. else 0.
+        else if i = j then 0.
+        else Ctmc.rate c i j /. exit)
+  in
+  { p }
+
+let dim t = t.p.Mat.rows
+let matrix t = Mat.copy t.p
+let step t pi = Mat.mul_vec (Mat.transpose t.p) pi
+
+let stationary t =
+  let n = dim t in
+  if n = 1 then [| 1. |]
+  else begin
+    (* (P^T - I) pi = 0 with the last row replaced by normalization. *)
+    let a = Mat.init n n (fun i j -> Mat.get t.p j i -. if i = j then 1. else 0.) in
+    for j = 0 to n - 1 do
+      Mat.set a (n - 1) j 1.
+    done;
+    let b = Array.make n 0. in
+    b.(n - 1) <- 1.;
+    let pi = Lu.solve a b in
+    let pi = Array.map (Float.max 0.) pi in
+    let total = Vec.sum pi in
+    Array.map (fun p -> p /. total) pi
+  end
+
+let power_stationary ?(tol = 1e-12) ?(max_iter = 100_000) t =
+  let n = dim t in
+  let pt = Mat.transpose t.p in
+  let rec loop pi iters =
+    let next = Mat.mul_vec pt pi in
+    if Vec.norm_inf (Vec.sub next pi) < tol || iters >= max_iter then next
+    else loop next (iters + 1)
+  in
+  loop (Array.make n (1. /. float_of_int n)) 0

@@ -1,0 +1,29 @@
+(** Finite discrete-time Markov chains.
+
+    Companion to {!Ctmc}: stationary distributions of stochastic matrices
+    and the embedded jump chain of a CTMC.  Used to cross-validate
+    uniformization and in tests. *)
+
+type t
+
+val of_matrix : Bufsize_numeric.Mat.t -> t
+(** Validates a row-stochastic matrix (rows sum to 1, entries in [0,1]). *)
+
+val embedded_of_ctmc : Ctmc.t -> t
+(** Jump chain of a CTMC: [P_ij = q_ij / exit_i] (absorbing states become
+    self-loops). *)
+
+val dim : t -> int
+
+val matrix : t -> Bufsize_numeric.Mat.t
+
+val step : t -> Bufsize_numeric.Vec.t -> Bufsize_numeric.Vec.t
+(** One transition: [pi P]. *)
+
+val stationary : t -> Bufsize_numeric.Vec.t
+(** Solves [pi P = pi], [sum pi = 1] by LU on [(P' - I)] with a
+    normalization row. *)
+
+val power_stationary : ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t
+(** Power iteration from the uniform distribution; used in tests as an
+    independent check of {!stationary}. *)

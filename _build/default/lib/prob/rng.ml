@@ -1,0 +1,105 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used for seeding and stream splitting. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  (* 53 high bits to a double in [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^64,
+     but we use the standard multiply-shift reduction for uniformity. *)
+  int_of_float (float t *. float_of_int n)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1. -. float t in
+  -.log u /. rate
+
+let poisson t ~mean =
+  if mean < 0. then invalid_arg "Rng.poisson: negative mean"
+  else if mean = 0. then 0
+  else if mean < 30. then begin
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. float t in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.
+  end
+  else begin
+    (* Normal approximation with continuity correction (Box-Muller). *)
+    let u1 = Float.max 1e-12 (float t) and u2 = float t in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    Int.max 0 (int_of_float (Float.round (mean +. (sqrt mean *. z))))
+  end
+
+let discrete t weights =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0. then invalid_arg "Rng.discrete: negative weight" else acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.discrete: all weights zero";
+  let target = float t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

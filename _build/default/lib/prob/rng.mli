@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained xoshiro256++ generator seeded through splitmix64, so
+    that simulation runs are reproducible across machines and OCaml
+    versions (the stdlib [Random] self-seeds and has changed algorithms
+    between releases).  [split] derives statistically independent streams,
+    one per simulation replication. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed via splitmix64. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's
+    (the parent advances). *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n-1]].  @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val exponential : t -> rate:float -> float
+(** Exponential variate with the given [rate] (mean [1/rate]).
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson variate (Knuth multiplication below mean 30, normal
+    approximation with continuity correction above). *)
+
+val discrete : t -> float array -> int
+(** [discrete t weights] samples an index proportionally to nonnegative
+    [weights].  @raise Invalid_argument if all weights are zero or any is
+    negative. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

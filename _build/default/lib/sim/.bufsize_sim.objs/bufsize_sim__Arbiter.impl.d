@@ -1,0 +1,1 @@
+lib/sim/arbiter.ml: Array Bufsize_prob Bufsize_soc

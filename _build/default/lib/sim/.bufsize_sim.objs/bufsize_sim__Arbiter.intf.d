@@ -1,0 +1,1 @@
+lib/sim/arbiter.mli: Bufsize_prob Bufsize_soc

@@ -1,0 +1,1 @@
+lib/sim/des.ml: Event_heap

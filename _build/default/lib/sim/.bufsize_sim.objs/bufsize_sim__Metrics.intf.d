@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Bufsize_soc Format

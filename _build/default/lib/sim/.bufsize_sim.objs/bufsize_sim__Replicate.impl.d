@@ -1,0 +1,1 @@
+lib/sim/replicate.ml: Array Bufsize_numeric Bufsize_soc Float Format Metrics Sim_run

@@ -1,0 +1,1 @@
+lib/sim/replicate.mli: Bufsize_numeric Format Sim_run

@@ -1,0 +1,1 @@
+lib/sim/sim_run.ml: Arbiter Array Bufsize_prob Bufsize_soc Des Float List Metrics Option Queue

@@ -1,0 +1,1 @@
+lib/sim/sim_run.mli: Arbiter Bufsize_soc Metrics

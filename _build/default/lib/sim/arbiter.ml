@@ -1,0 +1,59 @@
+module Rng = Bufsize_prob.Rng
+
+type view = {
+  bus : Bufsize_soc.Topology.bus_id;
+  num_clients : int;
+  queue_lengths : int array;
+  capacities : int array;
+  last_served : int;
+}
+
+type t =
+  | Round_robin
+  | Fixed_priority
+  | Longest_queue
+  | Random
+  | Custom of string * (view -> Rng.t -> int option)
+
+let nonempty view = Array.exists (fun l -> l > 0) view.queue_lengths
+
+let longest_queue view =
+  let best = ref (-1) in
+  for i = 0 to view.num_clients - 1 do
+    if view.queue_lengths.(i) > 0 then
+      if !best < 0 || view.queue_lengths.(i) > view.queue_lengths.(!best) then best := i
+  done;
+  if !best < 0 then None else Some !best
+
+let rec choose t rng view =
+  if not (nonempty view) then None
+  else
+    match t with
+    | Fixed_priority ->
+        let rec scan i = if view.queue_lengths.(i) > 0 then Some i else scan (i + 1) in
+        scan 0
+    | Longest_queue -> longest_queue view
+    | Round_robin ->
+        let n = view.num_clients in
+        let start = (view.last_served + 1) mod n in
+        let rec scan k =
+          let i = (start + k) mod n in
+          if view.queue_lengths.(i) > 0 then Some i else scan (k + 1)
+        in
+        scan 0
+    | Random ->
+        let weights =
+          Array.map (fun l -> if l > 0 then 1. else 0.) view.queue_lengths
+        in
+        Some (Rng.discrete rng weights)
+    | Custom (_, f) -> (
+        match f view rng with
+        | Some i when i >= 0 && i < view.num_clients && view.queue_lengths.(i) > 0 -> Some i
+        | Some _ | None -> choose Longest_queue rng view)
+
+let name = function
+  | Round_robin -> "round-robin"
+  | Fixed_priority -> "fixed-priority"
+  | Longest_queue -> "longest-queue"
+  | Random -> "random"
+  | Custom (n, _) -> n

@@ -1,0 +1,28 @@
+(** Bus arbitration policies for the simulator.
+
+    At every service opportunity the bus arbiter picks which nonempty
+    client buffer to serve next.  [Custom] hooks in externally built
+    policies — in particular the stochastic CTMDP policy extracted by
+    {!Bufsize_soc.Sizing} (see [Bufsize.stochastic_arbiter]). *)
+
+type view = {
+  bus : Bufsize_soc.Topology.bus_id;  (** the bus being arbitrated *)
+  num_clients : int;
+  queue_lengths : int array;  (** requests waiting per client *)
+  capacities : int array;  (** buffer capacity per client, in requests *)
+  last_served : int;  (** previously served client, [-1] before any *)
+}
+
+type t =
+  | Round_robin  (** cycle through nonempty clients after [last_served] *)
+  | Fixed_priority  (** lowest client index first *)
+  | Longest_queue  (** most backlogged first, index tie-break *)
+  | Random  (** uniform among nonempty clients *)
+  | Custom of string * (view -> Bufsize_prob.Rng.t -> int option)
+      (** named external policy; a [None] or invalid answer falls back to
+          [Longest_queue] *)
+
+val choose : t -> Bufsize_prob.Rng.t -> view -> int option
+(** The client to serve, or [None] when all buffers are empty. *)
+
+val name : t -> string

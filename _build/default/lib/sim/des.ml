@@ -1,0 +1,32 @@
+type t = { heap : (t -> unit) Event_heap.t; mutable clock : float }
+
+let create () = { heap = Event_heap.create (); clock = 0. }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Des.schedule_at: time in the past";
+  Event_heap.push t.heap ~time f
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Des.schedule: negative delay";
+  Event_heap.push t.heap ~time:(t.clock +. delay) f
+
+let step t =
+  match Event_heap.pop t.heap with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f t;
+      true
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.heap with
+    | Some time when time <= until -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < until then t.clock <- until
+
+let pending t = Event_heap.size t.heap

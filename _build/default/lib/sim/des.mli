@@ -1,0 +1,30 @@
+(** Discrete-event simulation core.
+
+    A thin engine around {!Event_heap}: a clock, an event queue, and a run
+    loop.  Event payloads are closures, so model code schedules arbitrary
+    behaviour without the engine knowing about entity types. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Schedule relative to the current time.
+    @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Schedule at an absolute time.
+    @raise Invalid_argument if the time is in the past. *)
+
+val run : t -> until:float -> unit
+(** Execute events in order until the queue empties or the next event is
+    later than [until]; the clock ends at [min until (last event time)]
+    and is then advanced to [until]. *)
+
+val step : t -> bool
+(** Execute a single event; false when the queue is empty. *)
+
+val pending : t -> int
+(** Number of scheduled events. *)

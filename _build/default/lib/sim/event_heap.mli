@@ -1,0 +1,22 @@
+(** Binary min-heap of timestamped events.
+
+    Ties are broken by insertion sequence number, so simultaneous events
+    fire in FIFO order and runs are fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event. *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

@@ -1,0 +1,57 @@
+type proc_stats = {
+  offered : int;
+  lost : int;
+  delivered : int;
+  mean_latency : float;
+  max_latency : float;
+}
+
+type buffer_stats = {
+  bus : Bufsize_soc.Topology.bus_id;
+  client : Bufsize_soc.Traffic.client;
+  capacity : int;
+  arrivals : int;
+  drops : int;
+  timeouts : int;
+  served : int;
+  mean_sojourn : float;
+  mean_occupancy : float;
+}
+
+type report = {
+  horizon : float;
+  per_proc : proc_stats array;
+  buffers : buffer_stats array;
+  events : int;
+}
+
+let total_offered r = Array.fold_left (fun acc p -> acc + p.offered) 0 r.per_proc
+let total_lost r = Array.fold_left (fun acc p -> acc + p.lost) 0 r.per_proc
+let total_delivered r = Array.fold_left (fun acc p -> acc + p.delivered) 0 r.per_proc
+
+let loss_fraction r =
+  let offered = total_offered r in
+  if offered = 0 then 0. else float_of_int (total_lost r) /. float_of_int offered
+
+let mean_buffer_sojourn r =
+  let num = ref 0. and den = ref 0 in
+  Array.iter
+    (fun b ->
+      if b.served > 0 && Float.is_finite b.mean_sojourn then begin
+        num := !num +. (b.mean_sojourn *. float_of_int b.served);
+        den := !den + b.served
+      end)
+    r.buffers;
+  if !den = 0 then Float.nan else !num /. float_of_int !den
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>simulation report (horizon %.4g, %d events):" r.horizon r.events;
+  Format.fprintf ppf "@,  offered %d, delivered %d, lost %d (%.2f%%)" (total_offered r)
+    (total_delivered r) (total_lost r)
+    (100. *. loss_fraction r);
+  Array.iteri
+    (fun i p ->
+      Format.fprintf ppf "@,  proc %2d: offered %6d lost %5d delivered %6d latency %.3g" (i + 1)
+        p.offered p.lost p.delivered p.mean_latency)
+    r.per_proc;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Simulation output: per-processor and per-buffer statistics.
+
+    Losses are attributed to the {e originating} processor wherever they
+    occur along the route (source buffer full, bridge buffer full, or
+    timeout drop), matching the paper's per-processor loss plots. *)
+
+type proc_stats = {
+  offered : int;  (** requests generated *)
+  lost : int;  (** dropped anywhere along the route *)
+  delivered : int;  (** reached their destination *)
+  mean_latency : float;
+      (** average end-to-end delay (creation to delivery) of this
+          processor's delivered requests; [nan] when none *)
+  max_latency : float;  (** worst observed end-to-end delay; 0 when none *)
+}
+
+type buffer_stats = {
+  bus : Bufsize_soc.Topology.bus_id;
+  client : Bufsize_soc.Traffic.client;
+  capacity : int;  (** words *)
+  arrivals : int;
+  drops : int;  (** rejected because the buffer was full *)
+  timeouts : int;  (** dropped by the timeout policy *)
+  served : int;
+  mean_sojourn : float;  (** average wait of served requests; nan if none *)
+  mean_occupancy : float;  (** time-average queue length *)
+}
+
+type report = {
+  horizon : float;  (** measured interval length (post-warmup) *)
+  per_proc : proc_stats array;
+  buffers : buffer_stats array;
+  events : int;  (** simulator events executed (performance metric) *)
+}
+
+val total_offered : report -> int
+val total_lost : report -> int
+val total_delivered : report -> int
+
+val loss_fraction : report -> float
+(** lost / offered (0 when nothing was offered). *)
+
+val mean_buffer_sojourn : report -> float
+(** Served-weighted mean sojourn over all buffers — the paper's timeout
+    threshold ("the average time spent by a request in a buffer"). *)
+
+val pp : Format.formatter -> report -> unit

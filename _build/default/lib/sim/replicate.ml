@@ -1,0 +1,59 @@
+module Stats = Bufsize_numeric.Stats
+
+type aggregate = {
+  replications : int;
+  per_proc_lost : Stats.t array;
+  per_proc_offered : Stats.t array;
+  per_proc_latency : Stats.t array;
+  total_lost : Stats.t;
+  total_offered : Stats.t;
+  loss_fraction : Stats.t;
+  mean_sojourn : Stats.t;
+}
+
+let run ?(replications = 10) spec =
+  if replications <= 0 then invalid_arg "Replicate.run: need at least one replication";
+  let nprocs =
+    Bufsize_soc.Topology.num_processors (Bufsize_soc.Traffic.topology spec.Sim_run.traffic)
+  in
+  let agg =
+    {
+      replications;
+      per_proc_lost = Array.init nprocs (fun _ -> Stats.create ());
+      per_proc_offered = Array.init nprocs (fun _ -> Stats.create ());
+      per_proc_latency = Array.init nprocs (fun _ -> Stats.create ());
+      total_lost = Stats.create ();
+      total_offered = Stats.create ();
+      loss_fraction = Stats.create ();
+      mean_sojourn = Stats.create ();
+    }
+  in
+  for i = 0 to replications - 1 do
+    let report = Sim_run.run { spec with Sim_run.seed = spec.Sim_run.seed + (1000 * i) } in
+    Array.iteri
+      (fun p (s : Metrics.proc_stats) ->
+        Stats.add agg.per_proc_lost.(p) (float_of_int s.Metrics.lost);
+        Stats.add agg.per_proc_offered.(p) (float_of_int s.Metrics.offered);
+        if Float.is_finite s.Metrics.mean_latency then
+          Stats.add agg.per_proc_latency.(p) s.Metrics.mean_latency)
+      report.Metrics.per_proc;
+    Stats.add agg.total_lost (float_of_int (Metrics.total_lost report));
+    Stats.add agg.total_offered (float_of_int (Metrics.total_offered report));
+    Stats.add agg.loss_fraction (Metrics.loss_fraction report);
+    let sj = Metrics.mean_buffer_sojourn report in
+    if Float.is_finite sj then Stats.add agg.mean_sojourn sj
+  done;
+  agg
+
+let mean_per_proc_lost agg = Array.map Stats.mean agg.per_proc_lost
+
+let pp ppf agg =
+  Format.fprintf ppf "@[<v>%d replications: total lost %.1f +- %.1f (of %.1f offered, %.2f%%)"
+    agg.replications (Stats.mean agg.total_lost)
+    (Stats.std_error agg.total_lost)
+    (Stats.mean agg.total_offered)
+    (100. *. Stats.mean agg.loss_fraction);
+  Array.iteri
+    (fun p s -> Format.fprintf ppf "@,  proc %2d: mean lost %.1f" (p + 1) (Stats.mean s))
+    agg.per_proc_lost;
+  Format.fprintf ppf "@]"

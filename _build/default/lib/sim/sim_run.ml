@@ -1,0 +1,295 @@
+module Topology = Bufsize_soc.Topology
+module Traffic = Bufsize_soc.Traffic
+module Buffer_alloc = Bufsize_soc.Buffer_alloc
+module Rng = Bufsize_prob.Rng
+
+type timeout_policy =
+  | Global of float
+  | Per_buffer of (Topology.bus_id -> Traffic.client -> float)
+
+type spec = {
+  traffic : Traffic.t;
+  allocation : Buffer_alloc.t;
+  arbiter : Arbiter.t;
+  timeout : timeout_policy option;
+  horizon : float;
+  warmup : float;
+  seed : int;
+}
+
+let default_spec ~traffic ~allocation =
+  {
+    traffic;
+    allocation;
+    arbiter = Arbiter.Longest_queue;
+    timeout = None;
+    horizon = 2000.;
+    warmup = 100.;
+    seed = 1;
+  }
+
+type request = {
+  origin : int;
+  created_at : float;
+  mutable remaining : (Topology.bus_id * Traffic.client) list;
+  mutable enqueued_at : float;
+}
+
+type buffer = {
+  client : Traffic.client;
+  capacity : int;
+  timeout_threshold : float;  (* infinity = no timeout *)
+  queue : request Queue.t;
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable timeouts : int;
+  mutable served : int;
+  mutable sojourn_sum : float;
+  mutable occ_integral : float;
+  mutable last_update : float;
+}
+
+type bus_rt = {
+  bus_id : Topology.bus_id;
+  mu : float;
+  buffers : buffer array;
+  mutable busy : bool;
+  mutable last_served : int;
+}
+
+type proc_counters = {
+  mutable offered : int;
+  mutable lost : int;
+  mutable delivered : int;
+  mutable latency_sum : float;
+  mutable latency_max : float;
+}
+
+let run spec =
+  if spec.horizon <= 0. then invalid_arg "Sim_run.run: nonpositive horizon";
+  if spec.warmup < 0. || spec.warmup >= spec.horizon then
+    invalid_arg "Sim_run.run: warmup must lie in [0, horizon)";
+  let topo = Traffic.topology spec.traffic in
+  let rng = Rng.create spec.seed in
+  let des = Des.create () in
+  let events = ref 0 in
+  let nb = Topology.num_buses topo in
+  let threshold_of bus_id client =
+    let raw =
+      match spec.timeout with
+      | None -> infinity
+      | Some (Global t) -> t
+      | Some (Per_buffer f) -> f bus_id client
+    in
+    if Float.is_finite raw && raw > 0. then raw else infinity
+  in
+  let buses =
+    Array.init nb (fun bus_id ->
+        let clients = Traffic.clients_of_bus spec.traffic bus_id in
+        let buffers =
+          Array.of_list
+            (List.map
+               (fun (c, _) ->
+                 {
+                   client = c;
+                   capacity = Buffer_alloc.lookup spec.allocation bus_id c;
+                   timeout_threshold = threshold_of bus_id c;
+                   queue = Queue.create ();
+                   arrivals = 0;
+                   drops = 0;
+                   timeouts = 0;
+                   served = 0;
+                   sojourn_sum = 0.;
+                   occ_integral = 0.;
+                   last_update = 0.;
+                 })
+               clients)
+        in
+        {
+          bus_id;
+          mu = (Topology.bus topo bus_id).Topology.service_rate;
+          buffers;
+          busy = false;
+          last_served = -1;
+        })
+  in
+  let buffer_of bus_id client =
+    let bus = buses.(bus_id) in
+    let rec scan i =
+      if i >= Array.length bus.buffers then
+        invalid_arg "Sim_run: request routed to a client with no buffer"
+      else if Traffic.client_equal bus.buffers.(i).client client then (bus, i)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let procs =
+    Array.init (Topology.num_processors topo) (fun _ ->
+        { offered = 0; lost = 0; delivered = 0; latency_sum = 0.; latency_max = 0. })
+  in
+  let touch_occupancy buf now =
+    buf.occ_integral <- buf.occ_integral +. (float_of_int (Queue.length buf.queue) *. (now -. buf.last_update));
+    buf.last_update <- now
+  in
+  let lose req = procs.(req.origin).lost <- procs.(req.origin).lost + 1 in
+  (* Timeout purge: drop stale heads (FIFO queues, so heads are oldest). *)
+  let purge_stale bus now =
+    if Option.is_some spec.timeout then
+      Array.iter
+        (fun buf ->
+          if Float.is_finite buf.timeout_threshold then begin
+            let continue = ref true in
+            while !continue do
+              match Queue.peek_opt buf.queue with
+              | Some req when now -. req.enqueued_at > buf.timeout_threshold ->
+                  touch_occupancy buf now;
+                  ignore (Queue.pop buf.queue);
+                  buf.timeouts <- buf.timeouts + 1;
+                  lose req
+              | Some _ | None -> continue := false
+            done
+          end)
+        bus.buffers
+  in
+  let rec try_select bus des =
+    if not bus.busy then begin
+      let now = Des.now des in
+      purge_stale bus now;
+      let view =
+        {
+          Arbiter.bus = bus.bus_id;
+          num_clients = Array.length bus.buffers;
+          queue_lengths = Array.map (fun b -> Queue.length b.queue) bus.buffers;
+          capacities = Array.map (fun b -> b.capacity) bus.buffers;
+          last_served = bus.last_served;
+        }
+      in
+      match Arbiter.choose spec.arbiter rng view with
+      | None -> ()
+      | Some i ->
+          let buf = bus.buffers.(i) in
+          touch_occupancy buf now;
+          let req = Queue.pop buf.queue in
+          buf.served <- buf.served + 1;
+          buf.sojourn_sum <- buf.sojourn_sum +. (now -. req.enqueued_at);
+          bus.busy <- true;
+          bus.last_served <- i;
+          let service = Rng.exponential rng ~rate:bus.mu in
+          Des.schedule des ~delay:service (fun des ->
+              incr events;
+              bus.busy <- false;
+              complete req des;
+              try_select bus des)
+    end
+  and complete req des =
+    match req.remaining with
+    | [] -> assert false
+    | [ _last ] ->
+        let p = procs.(req.origin) in
+        let latency = Des.now des -. req.created_at in
+        p.delivered <- p.delivered + 1;
+        p.latency_sum <- p.latency_sum +. latency;
+        if latency > p.latency_max then p.latency_max <- latency
+    | _ :: next :: rest ->
+        req.remaining <- next :: rest;
+        enqueue next req des
+  and enqueue (bus_id, client) req des =
+    let bus, i = buffer_of bus_id client in
+    let buf = bus.buffers.(i) in
+    buf.arrivals <- buf.arrivals + 1;
+    let now = Des.now des in
+    (* Under the timeout policy stale requests also age out on arrival
+       pressure, freeing space before the drop decision. *)
+    purge_stale bus now;
+    if Queue.length buf.queue >= buf.capacity then begin
+      buf.drops <- buf.drops + 1;
+      lose req
+    end
+    else begin
+      touch_occupancy buf now;
+      req.enqueued_at <- now;
+      Queue.push req buf.queue;
+      try_select bus des
+    end
+  in
+  (* Poisson sources, one per flow. *)
+  let flows = Traffic.flows spec.traffic in
+  Array.iter
+    (fun f ->
+      let hops = Traffic.hops spec.traffic f in
+      let rec arrival des =
+        incr events;
+        procs.(f.Traffic.src).offered <- procs.(f.Traffic.src).offered + 1;
+        let now = Des.now des in
+        let req = { origin = f.Traffic.src; created_at = now; remaining = hops; enqueued_at = now } in
+        (match hops with
+        | first :: _ -> enqueue first req des
+        | [] -> assert false);
+        Des.schedule des ~delay:(Rng.exponential rng ~rate:f.Traffic.rate) arrival
+      in
+      Des.schedule des ~delay:(Rng.exponential rng ~rate:f.Traffic.rate) arrival)
+    flows;
+  (* Statistics reset at the end of the warmup. *)
+  if spec.warmup > 0. then
+    Des.schedule_at des ~time:spec.warmup (fun des ->
+        let now = Des.now des in
+        Array.iter
+          (fun p ->
+            p.offered <- 0;
+            p.lost <- 0;
+            p.delivered <- 0;
+            p.latency_sum <- 0.;
+            p.latency_max <- 0.)
+          procs;
+        Array.iter
+          (fun bus ->
+            Array.iter
+              (fun buf ->
+                buf.arrivals <- 0;
+                buf.drops <- 0;
+                buf.timeouts <- 0;
+                buf.served <- 0;
+                buf.sojourn_sum <- 0.;
+                buf.occ_integral <- 0.;
+                buf.last_update <- now)
+              bus.buffers)
+          buses;
+        events := 0);
+  Des.run des ~until:spec.horizon;
+  (* Flush occupancy integrals to the horizon. *)
+  Array.iter (fun bus -> Array.iter (fun buf -> touch_occupancy buf spec.horizon) bus.buffers) buses;
+  let measured = spec.horizon -. spec.warmup in
+  let per_proc =
+    Array.map
+      (fun p ->
+        {
+          Metrics.offered = p.offered;
+          lost = p.lost;
+          delivered = p.delivered;
+          mean_latency =
+            (if p.delivered > 0 then p.latency_sum /. float_of_int p.delivered else Float.nan);
+          max_latency = p.latency_max;
+        })
+      procs
+  in
+  let buffers =
+    Array.to_list buses
+    |> List.concat_map (fun bus ->
+           Array.to_list bus.buffers
+           |> List.map (fun buf ->
+                  {
+                    Metrics.bus = bus.bus_id;
+                    client = buf.client;
+                    capacity = buf.capacity;
+                    arrivals = buf.arrivals;
+                    drops = buf.drops;
+                    timeouts = buf.timeouts;
+                    served = buf.served;
+                    mean_sojourn =
+                      (if buf.served > 0 then buf.sojourn_sum /. float_of_int buf.served
+                       else Float.nan);
+                    mean_occupancy = buf.occ_integral /. measured;
+                  }))
+    |> Array.of_list
+  in
+  { Metrics.horizon = measured; per_proc; buffers; events = !events }

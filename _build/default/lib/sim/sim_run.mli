@@ -1,0 +1,44 @@
+(** Build and run a discrete-event simulation of a buffered bus
+    architecture.
+
+    Wires a {!Bufsize_soc.Traffic} spec, a {!Bufsize_soc.Buffer_alloc}
+    allocation, and an {!Arbiter} policy into the {!Des} engine:
+
+    - every flow is an independent Poisson source;
+    - a request traverses the buffer sequence of its route (source
+      processor buffer, then one bridge buffer per crossed bridge), being
+      transmitted once on each bus along the way (exponential service at
+      the bus rate);
+    - a request arriving at a full buffer is dropped and counted against
+      its originating processor;
+    - with [timeout = Some t], a request whose buffer sojourn exceeds [t]
+      is dropped at selection time (the paper's timeout policy; use
+      {!Metrics.mean_buffer_sojourn} of a calibration run as [t]);
+    - statistics reset at [warmup] and accumulate until [horizon]. *)
+
+type timeout_policy =
+  | Global of float  (** one threshold for every buffer *)
+  | Per_buffer of (Bufsize_soc.Topology.bus_id -> Bufsize_soc.Traffic.client -> float)
+      (** per-buffer thresholds, e.g. each buffer's own measured average
+          sojourn (the paper's "average time spent by a request in a
+          buffer"); non-finite or nonpositive values disable the timeout
+          for that buffer *)
+
+type spec = {
+  traffic : Bufsize_soc.Traffic.t;
+  allocation : Bufsize_soc.Buffer_alloc.t;
+  arbiter : Arbiter.t;
+  timeout : timeout_policy option;
+  horizon : float;
+  warmup : float;
+  seed : int;
+}
+
+val default_spec :
+  traffic:Bufsize_soc.Traffic.t ->
+  allocation:Bufsize_soc.Buffer_alloc.t ->
+  spec
+(** Longest-queue arbiter, no timeout, horizon 2000, warmup 100, seed 1. *)
+
+val run : spec -> Metrics.report
+(** @raise Invalid_argument on a nonpositive horizon or warmup >= horizon. *)

@@ -1,0 +1,1 @@
+lib/soc/amba.ml: Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/buffer_alloc.ml: Array Bufsize_numeric Float Format Hashtbl List Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/buffer_alloc.mli: Format Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/bus_model.ml: Array Bufsize_mdp Float Format List Printf Splitting String Traffic

@@ -1,0 +1,1 @@
+lib/soc/bus_model.mli: Bufsize_mdp Format Splitting Traffic

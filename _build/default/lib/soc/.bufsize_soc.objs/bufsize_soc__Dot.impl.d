@@ -1,0 +1,1 @@
+lib/soc/dot.ml: Array Buffer Buffer_alloc List Printf String Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/dot.mli: Buffer_alloc Topology Traffic

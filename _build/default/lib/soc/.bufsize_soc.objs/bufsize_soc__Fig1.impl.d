@@ -1,0 +1,1 @@
+lib/soc/fig1.ml: Topology Traffic

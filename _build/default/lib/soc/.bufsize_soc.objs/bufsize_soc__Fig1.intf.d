@@ -1,0 +1,1 @@
+lib/soc/fig1.mli: Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/monolithic.ml: Array Bufsize_numeric Bufsize_prob Format Option

@@ -1,0 +1,1 @@
+lib/soc/monolithic.mli: Bufsize_numeric Format

@@ -1,0 +1,1 @@
+lib/soc/netproc.ml: Array Topology Traffic

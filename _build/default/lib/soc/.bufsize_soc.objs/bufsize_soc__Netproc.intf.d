@@ -1,0 +1,1 @@
+lib/soc/netproc.mli: Topology Traffic

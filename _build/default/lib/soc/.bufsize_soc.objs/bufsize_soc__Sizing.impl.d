@@ -1,0 +1,1 @@
+lib/soc/sizing.ml: Array Buffer_alloc Bufsize_mdp Bufsize_numeric Bus_model Float Format Int List Splitting Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/sizing.mli: Buffer_alloc Bufsize_mdp Bus_model Format Splitting Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/spec_parser.ml: Array Buffer Hashtbl List Printf Result String Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/spec_parser.mli: Topology Traffic

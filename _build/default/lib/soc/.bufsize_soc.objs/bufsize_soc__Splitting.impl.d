@@ -1,0 +1,1 @@
+lib/soc/splitting.ml: Array Format List Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/splitting.mli: Format Topology Traffic

@@ -1,0 +1,1 @@
+lib/soc/topology.ml: Array Format List Printf Queue String

@@ -1,0 +1,1 @@
+lib/soc/traffic.ml: Array Format Hashtbl List Option Printf Topology

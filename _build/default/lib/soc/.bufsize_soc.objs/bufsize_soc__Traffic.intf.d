@@ -1,0 +1,1 @@
+lib/soc/traffic.mli: Format Topology

@@ -1,0 +1,37 @@
+let processor_names = [| "cpu0"; "cpu1"; "dma"; "mem"; "uart"; "spi"; "gpio"; "timer" |]
+
+let create ?(rate_scale = 1.0) () =
+  if rate_scale <= 0. then invalid_arg "Amba.create: rate_scale must be positive";
+  let b = Topology.builder () in
+  let ahb = Topology.add_bus b ~service_rate:10.0 "AHB" in
+  let apb = Topology.add_bus b ~service_rate:2.0 "APB" in
+  let cpu0 = Topology.add_processor b ~bus:ahb "cpu0" in
+  let cpu1 = Topology.add_processor b ~bus:ahb "cpu1" in
+  let dma = Topology.add_processor b ~bus:ahb "dma" in
+  let mem = Topology.add_processor b ~bus:ahb "mem" in
+  let uart = Topology.add_processor b ~bus:apb "uart" in
+  let spi = Topology.add_processor b ~bus:apb "spi" in
+  let gpio = Topology.add_processor b ~bus:apb "gpio" in
+  let timer = Topology.add_processor b ~bus:apb "timer" in
+  ignore (Topology.add_bridge b ~between:(ahb, apb) "ahb-apb");
+  let topo = Topology.finalize b in
+  let r x = x *. rate_scale in
+  let flows =
+    [
+      (* Fast-bus traffic: cores and DMA hammer the memory controller. *)
+      { Traffic.src = cpu0; dst = mem; rate = r 2.2 };
+      { Traffic.src = cpu1; dst = mem; rate = r 1.8 };
+      { Traffic.src = dma; dst = mem; rate = r 1.4 };
+      { Traffic.src = mem; dst = dma; rate = r 0.8 };
+      (* Peripheral-bound writes: the APB choke through the bridge. *)
+      { Traffic.src = cpu0; dst = uart; rate = r 0.5 };
+      { Traffic.src = cpu0; dst = spi; rate = r 0.3 };
+      { Traffic.src = cpu1; dst = gpio; rate = r 0.25 };
+      { Traffic.src = dma; dst = spi; rate = r 0.35 };
+      (* Peripheral interrupts / readbacks flowing up to the cores. *)
+      { Traffic.src = uart; dst = cpu0; rate = r 0.15 };
+      { Traffic.src = timer; dst = cpu1; rate = r 0.1 };
+      { Traffic.src = gpio; dst = cpu0; rate = r 0.05 };
+    ]
+  in
+  (topo, Traffic.create topo flows)

@@ -1,0 +1,22 @@
+(** An AMBA-style two-tier testbench.
+
+    The paper motivates bridged architectures with "the AMBA and
+    CoreConnect systems"; this module provides the canonical AMBA shape: a
+    high-speed system bus (AHB) carrying processors, DMA and a memory
+    controller, connected through an AHB-APB bridge to a slow peripheral
+    bus (APB) with low-bandwidth peripherals.  The AHB-APB bridge buffer is
+    the classic pain point — peripheral-bound writes pile up in front of
+    the slow bus — which makes this architecture a natural showcase for
+    bridge buffer insertion.
+
+    Components (8 processors, 2 buses, 1 bridge):
+    - AHB (fast): [cpu0], [cpu1], [dma], [mem] (memory controller)
+    - APB (slow): [uart], [spi], [gpio], [timer] *)
+
+val create : ?rate_scale:float -> unit -> Topology.t * Traffic.t
+(** [rate_scale] scales every flow (default 1.0, calibrated to AHB
+    utilization ~0.8 and APB utilization ~0.9 with the bridge as the
+    dominant APB client). *)
+
+val processor_names : string array
+(** Names in processor-id order. *)

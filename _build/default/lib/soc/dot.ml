@@ -1,0 +1,94 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let bus_node id = Printf.sprintf "bus%d" id
+let proc_node id = Printf.sprintf "proc%d" id
+let bridge_buffer_node bridge into_bus = Printf.sprintf "bb%d_%d" bridge into_bus
+
+let header rankdir buf =
+  Buffer.add_string buf "digraph architecture {\n";
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" rankdir);
+  Buffer.add_string buf "  node [fontname=\"Helvetica\"];\n"
+
+(* [label_of] must pre-escape user text (it may embed the DOT line break
+   [\n], which [escape] would double). *)
+let emit_buses topo buf label_of =
+  Array.iter
+    (fun (b : Topology.bus) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=box, style=filled, fillcolor=lightblue, label=\"%s\"];\n"
+           (bus_node b.Topology.bus_id)
+           (label_of b)))
+    (Topology.buses topo)
+
+let emit_bridges topo buf =
+  Array.iter
+    (fun (br : Topology.bridge) ->
+      let x, y = br.Topology.endpoints in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [dir=both, style=bold, label=\"%s\"];\n" (bus_node x)
+           (bus_node y)
+           (escape br.Topology.bridge_name)))
+    (Topology.bridges topo)
+
+let topology ?(rankdir = "LR") topo =
+  let buf = Buffer.create 1024 in
+  header rankdir buf;
+  emit_buses topo buf (fun b ->
+      Printf.sprintf "%s\\nmu=%.3g" (escape b.Topology.bus_name) b.Topology.service_rate);
+  Array.iter
+    (fun (p : Topology.processor) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=ellipse, label=\"%s\"];\n" (proc_node p.Topology.proc_id)
+           (escape p.Topology.proc_name));
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [arrowhead=none];\n" (proc_node p.Topology.proc_id)
+           (bus_node p.Topology.home_bus)))
+    (Topology.processors topo);
+  emit_bridges topo buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let with_allocation ?(rankdir = "LR") topo traffic alloc =
+  let buf = Buffer.create 2048 in
+  header rankdir buf;
+  emit_buses topo buf (fun b ->
+      Printf.sprintf "%s\\nmu=%.3g rho=%.2f" (escape b.Topology.bus_name)
+        b.Topology.service_rate
+        (Traffic.bus_utilization traffic b.Topology.bus_id));
+  Array.iter
+    (fun (p : Topology.processor) ->
+      let words =
+        Buffer_alloc.lookup alloc p.Topology.home_bus (Traffic.Proc_client p.Topology.proc_id)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=ellipse, label=\"%s\\n%d words\"];\n"
+           (proc_node p.Topology.proc_id)
+           (escape p.Topology.proc_name)
+           words);
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [arrowhead=none];\n" (proc_node p.Topology.proc_id)
+           (bus_node p.Topology.home_bus)))
+    (Topology.processors topo);
+  (* Inserted bridge buffers: one per loaded bridge direction. *)
+  List.iter
+    (fun (bus, client, rate) ->
+      match client with
+      | Traffic.Proc_client _ -> ()
+      | Traffic.Bridge_client { bridge; into_bus } ->
+          let words = Buffer_alloc.lookup alloc bus client in
+          let node = bridge_buffer_node bridge into_bus in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %s [shape=house, style=filled, fillcolor=khaki, label=\"%s\\n%d words\\n%.2g/s\"];\n"
+               node
+               (escape (Traffic.client_label topo client))
+               words rate);
+          Buffer.add_string buf (Printf.sprintf "  %s -> %s;\n" node (bus_node into_bus)))
+    (Traffic.all_clients traffic);
+  emit_bridges topo buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Graphviz export of architectures and allocations.
+
+    Renders the bus/bridge/processor graph (and optionally a buffer
+    allocation as node annotations) in DOT format, for inspection with
+    [dot -Tsvg].  Buses are boxes, processors ellipses, bridges edges
+    between buses; bridge buffers inserted by the split appear as small
+    house-shaped nodes on the bus they feed. *)
+
+val topology : ?rankdir:string -> Topology.t -> string
+(** DOT source for the bare architecture graph ([rankdir] defaults to
+    ["LR"]). *)
+
+val with_allocation : ?rankdir:string -> Topology.t -> Traffic.t -> Buffer_alloc.t -> string
+(** DOT source with per-client buffer sizes (words) in the node labels and
+    bridge-buffer nodes for every loaded bridge direction. *)

@@ -1,0 +1,34 @@
+let processor_names = [| "P1"; "P2"; "P3"; "P4"; "P5" |]
+
+let create ?(rate_scale = 1.0) () =
+  if rate_scale <= 0. then invalid_arg "Fig1.create: rate_scale must be positive";
+  let b = Topology.builder () in
+  let bus_a = Topology.add_bus b ~service_rate:4.0 "a" in
+  let bus_b = Topology.add_bus b ~service_rate:5.0 "b" in
+  let bus_f = Topology.add_bus b ~service_rate:4.0 "f" in
+  let bus_g = Topology.add_bus b ~service_rate:5.0 "g" in
+  let p1 = Topology.add_processor b ~bus:bus_a "P1" in
+  let p2 = Topology.add_processor b ~bus:bus_a "P2" in
+  let p3 = Topology.add_processor b ~bus:bus_b "P3" in
+  let p4 = Topology.add_processor b ~bus:bus_f "P4" in
+  let p5 = Topology.add_processor b ~bus:bus_g "P5" in
+  let _b1 = Topology.add_bridge b ~between:(bus_a, bus_b) "b1" in
+  let _b2 = Topology.add_bridge b ~between:(bus_b, bus_f) "b2" in
+  let _b3 = Topology.add_bridge b ~between:(bus_f, bus_g) "b3" in
+  let _b4 = Topology.add_bridge b ~between:(bus_b, bus_g) "b4" in
+  let topo = Topology.finalize b in
+  let r x = x *. rate_scale in
+  let flows =
+    [
+      (* Local traffic on bus a. *)
+      { Traffic.src = p1; dst = p2; rate = r 1.2 };
+      (* Processors 2, 3 and 5 talk across buses b, f and g (the paper's
+         motivating interaction), so their flows cross bridges. *)
+      { Traffic.src = p2; dst = p3; rate = r 0.9 };
+      { Traffic.src = p3; dst = p5; rate = r 0.8 };
+      { Traffic.src = p5; dst = p3; rate = r 0.6 };
+      { Traffic.src = p3; dst = p4; rate = r 0.5 };
+      { Traffic.src = p4; dst = p5; rate = r 0.7 };
+    ]
+  in
+  (topo, Traffic.create topo flows)

@@ -1,0 +1,17 @@
+(** The paper's Figure 1 sample architecture.
+
+    Five processors, four buses (a, b, f, g) and four bridges (b1..b4):
+    bus [a] talks only to processors, while buses [b], [f] and [g] also
+    talk to each other through bridges — the configuration whose monolithic
+    model is nonlinear and which the paper splits into the four subsystems
+    of its Figure 2.  Link buses c/d/e of the figure are point-to-point
+    wires subsumed into the processor attachments.
+
+    The exact rates are not given in the paper; the defaults here produce
+    moderate contention (bus utilizations around 0.6-0.9). *)
+
+val create : ?rate_scale:float -> unit -> Topology.t * Traffic.t
+(** [rate_scale] multiplies every flow rate (default 1.0). *)
+
+val processor_names : string array
+(** ["P1"; ...; "P5"], index = processor id. *)

@@ -1,0 +1,207 @@
+module Lp = Bufsize_numeric.Lp
+module Lp_formulation = Bufsize_mdp.Lp_formulation
+module Kswitching = Bufsize_mdp.Kswitching
+
+type solver = Joint | Separate
+
+type config = {
+  budget : int;
+  occupancy_fraction : float;
+  quantile : float;
+  max_states : int;
+  solver : solver;
+  client_weight : Traffic.client -> float;
+}
+
+let default_config ~budget =
+  {
+    budget;
+    occupancy_fraction = 0.6;
+    quantile = 0.95;
+    max_states = 96;
+    solver = Joint;
+    client_weight = (fun _ -> 1.);
+  }
+
+type subsystem_solution = {
+  model : Bus_model.t;
+  solved : Lp_formulation.solved;
+  switching : Kswitching.analysis;
+  occupancy : float array array;
+  requirements : (Topology.bus_id * Traffic.client * float) list;
+}
+
+type result = {
+  config : config;
+  split : Splitting.t;
+  solutions : subsystem_solution array;
+  allocation : Buffer_alloc.t;
+  predicted_loss_rate : float;
+  words_per_level : float;
+  budget_bound_active : bool;
+}
+
+(* Smallest level whose cumulative stationary probability reaches the
+   quantile. *)
+let quantile_level dist q =
+  let acc = ref 0. in
+  let result = ref (Array.length dist - 1) in
+  (try
+     Array.iteri
+       (fun l p ->
+         acc := !acc +. p;
+         if !acc >= q then begin
+           result := l;
+           raise Exit
+         end)
+       dist
+   with Exit -> ());
+  !result
+
+let requirements_for model ~words_per_level ~quantile occupancy =
+  let sub = Bus_model.subsystem model in
+  let loaded = Bus_model.loaded_clients model in
+  Array.to_list
+    (Array.mapi
+       (fun i (c : Bus_model.client_model) ->
+         (* The smallest level covering the occupancy quantile, in words.
+            Floor of two levels per loaded client: one for the request in
+            service and one of burst headroom — coarse (1-level) client
+            models cannot represent the bus-wide backlog tails that the
+            re-simulation punishes.  A client whose losses weigh w times
+            more gets its occupancy covered to a w-fold smaller tail
+            probability. *)
+         let weighted_quantile =
+           let w = Float.max 1e-9 c.Bus_model.weight in
+           Float.min 0.999999 (1. -. ((1. -. quantile) /. w))
+         in
+         let level = Int.max 2 (quantile_level occupancy.(i) weighted_quantile) in
+         let demand = float_of_int level *. words_per_level in
+         (sub.Splitting.bus, c.Bus_model.client, demand))
+       loaded)
+
+let solve_subsystems config models =
+  let total_levels =
+    Array.fold_left (fun acc m -> acc + Bus_model.total_levels m) 0 models
+  in
+  let words_per_level = float_of_int config.budget /. float_of_int total_levels in
+  (* The shared occupancy bound expressed in levels. *)
+  let bound_levels =
+    config.occupancy_fraction *. float_of_int config.budget /. words_per_level
+  in
+  let ctmdps = Array.map Bus_model.ctmdp models in
+  match config.solver with
+  | Joint -> (
+      let attempt bounds =
+        Lp_formulation.solve_joint ?shared_bounds:bounds ctmdps
+      in
+      match
+        attempt (Some [| { Lp_formulation.sense = Lp.Le; value = bound_levels } |])
+      with
+      | Lp_formulation.Joint_optimal j -> (j.Lp_formulation.components, j.Lp_formulation.total_gain, true, words_per_level)
+      | Lp_formulation.Joint_infeasible | Lp_formulation.Joint_unbounded -> (
+          match attempt None with
+          | Lp_formulation.Joint_optimal j ->
+              (j.Lp_formulation.components, j.Lp_formulation.total_gain, false, words_per_level)
+          | _ -> failwith "Sizing.run: joint LP failed even without the budget bound"))
+  | Separate ->
+      let shares =
+        (* Divide the occupancy bound proportionally to represented levels. *)
+        Array.map
+          (fun m ->
+            bound_levels *. float_of_int (Bus_model.total_levels m) /. float_of_int total_levels)
+          models
+      in
+      let active = ref true in
+      let solutions =
+        Array.mapi
+          (fun i m ->
+            let bounds = [| { Lp_formulation.sense = Lp.Le; value = shares.(i) } |] in
+            match Lp_formulation.solve ~extra_bounds:bounds m with
+            | Lp_formulation.Optimal s -> s
+            | Lp_formulation.Infeasible | Lp_formulation.Unbounded -> (
+                active := false;
+                match Lp_formulation.solve m with
+                | Lp_formulation.Optimal s -> s
+                | _ -> failwith "Sizing.run: subsystem LP failed"))
+          ctmdps
+      in
+      let gain = Array.fold_left (fun acc s -> acc +. s.Lp_formulation.gain) 0. solutions in
+      (solutions, gain, !active, words_per_level)
+
+let run ?measured_rates config traffic =
+  if config.budget <= 0 then invalid_arg "Sizing.run: budget must be positive";
+  if config.occupancy_fraction <= 0. || config.occupancy_fraction > 1. then
+    invalid_arg "Sizing.run: occupancy_fraction must be in (0, 1]";
+  if config.quantile <= 0. || config.quantile > 1. then
+    invalid_arg "Sizing.run: quantile must be in (0, 1]";
+  let split = Splitting.split traffic in
+  (* Profiled rates, when supplied, replace the analytically routed ones
+     (they capture loss thinning and burst clustering the routing-based
+     derivation cannot see). *)
+  let apply_profile (s : Splitting.subsystem) =
+    match measured_rates with
+    | None -> s
+    | Some rate_of ->
+        let clients =
+          List.map
+            (fun (c, r) ->
+              match rate_of s.Splitting.bus c with
+              | Some measured when measured > 0. && r > 0. -> (c, measured)
+              | Some _ | None -> (c, r))
+            s.Splitting.clients
+        in
+        { s with Splitting.clients }
+  in
+  let models =
+    Array.map
+      (fun s ->
+        Bus_model.build ~weights:config.client_weight ~max_states:config.max_states
+          (apply_profile s))
+      split.Splitting.subsystems
+  in
+  let solved, total_gain, bound_active, words_per_level = solve_subsystems config models in
+  let solutions =
+    Array.mapi
+      (fun i model ->
+        let s = solved.(i) in
+        let occupancy = Bus_model.occupancy_distribution model s.Lp_formulation.policy in
+        let switching =
+          (* The joint problem has one shared constraint, so at most one
+             randomized state exists across ALL subsystems; states with
+             negligible occupation mass are filtered (their conditional
+             probabilities are numerical noise). *)
+          Kswitching.of_occupation ~mass_tol:1e-7 ~constraints:1 (Bus_model.ctmdp model)
+            s.Lp_formulation.occupation
+        in
+        let requirements =
+          requirements_for model ~words_per_level ~quantile:config.quantile occupancy
+        in
+        { model; solved = s; switching; occupancy; requirements })
+      models
+  in
+  let all_requirements =
+    Array.to_list solutions |> List.concat_map (fun s -> s.requirements)
+  in
+  let allocation = Buffer_alloc.of_requirements traffic ~budget:config.budget all_requirements in
+  {
+    config;
+    split;
+    solutions;
+    allocation;
+    predicted_loss_rate = total_gain;
+    words_per_level;
+    budget_bound_active = bound_active;
+  }
+
+let requirements_of_solution r =
+  Array.to_list r.solutions |> List.concat_map (fun s -> s.requirements)
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>sizing: budget %d words over %d buffers, %d subsystem(s), predicted loss rate %.4g@,\
+     granularity %.3g words/level, budget bound %s@]"
+    r.config.budget
+    (Buffer_alloc.num_buffers r.allocation)
+    (Array.length r.solutions) r.predicted_loss_rate r.words_per_level
+    (if r.budget_bound_active then "active" else "fallback (unconstrained)")

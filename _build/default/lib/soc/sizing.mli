@@ -1,0 +1,79 @@
+(** End-to-end CTMDP buffer sizing — the paper's methodology in one call.
+
+    Pipeline: split the architecture at bridges ({!Splitting}), build one
+    CTMDP per subsystem ({!Bus_model}), solve all subsystems in one joint
+    LP with a shared time-average buffer-occupancy budget
+    ({!Bufsize_mdp.Lp_formulation.solve_joint}), analyze the K-switching
+    structure, translate the optimal policy's stationary occupancy
+    distributions into per-client buffer requirements (occupancy quantile),
+    and apportion the integer word budget ({!Buffer_alloc}).
+
+    Model levels are an abstraction of buffer words: with total budget [W]
+    words and [L] total model levels, one level stands for [g = W/L] words
+    (the granularity).  The LP's shared constraint bounds the expected
+    occupied space at [occupancy_fraction * W] words. *)
+
+type solver = Joint | Separate
+(** [Joint] solves one block LP over all subsystems (the paper's "in one
+    go"); [Separate] solves per-subsystem LPs with proportionally divided
+    budgets (the sequential strawman, kept for the ablation). *)
+
+type config = {
+  budget : int;  (** total buffer words to distribute *)
+  occupancy_fraction : float;  (** kappa in (0, 1]: time-average bound *)
+  quantile : float;  (** occupancy quantile for requirements, e.g. 0.95 *)
+  max_states : int;  (** per-subsystem CTMDP state cap *)
+  solver : solver;
+  client_weight : Traffic.client -> float;
+      (** loss-importance weight per client in the CTMDP cost — the
+          paper's closing remark ("allowing some losses to be more
+          important than the others") as a first-class knob; default 1.
+          Weights must be positive. *)
+}
+
+val default_config : budget:int -> config
+(** kappa = 0.6, quantile = 0.95, max_states = 96, Joint.  Larger state
+    caps buy model fidelity at steeply growing joint-LP cost; the
+    ABL-LEVELS ablation shows allocations saturating well below 100 states
+    per subsystem. *)
+
+type subsystem_solution = {
+  model : Bus_model.t;
+  solved : Bufsize_mdp.Lp_formulation.solved;
+  switching : Bufsize_mdp.Kswitching.analysis;
+  occupancy : float array array;
+      (** stationary occupancy marginals per loaded client *)
+  requirements : (Topology.bus_id * Traffic.client * float) list;
+      (** real-valued word requirements per loaded client *)
+}
+
+type result = {
+  config : config;
+  split : Splitting.t;
+  solutions : subsystem_solution array;
+  allocation : Buffer_alloc.t;
+  predicted_loss_rate : float;
+      (** the joint LP's optimal gain: model-predicted total loss rate *)
+  words_per_level : float;  (** the granularity g *)
+  budget_bound_active : bool;
+      (** false when the occupancy bound was infeasible and the solve fell
+          back to the unconstrained LP *)
+}
+
+val run :
+  ?measured_rates:(Topology.bus_id -> Traffic.client -> float option) ->
+  config ->
+  Traffic.t ->
+  result
+(** [measured_rates] optionally overrides the analytically routed client
+    arrival rates with profiled ones (e.g. per-buffer arrival counts from a
+    simulation of the previous allocation — the paper's "better profiling"
+    suggestion; see [Bufsize.profiled_sizing]).  [None] keeps the routed
+    rate; overrides must be positive to keep a loaded client loaded.
+    @raise Failure if some subsystem LP is unbounded (cannot happen for
+    well-formed models) or the unconstrained fallback also fails. *)
+
+val requirements_of_solution : result -> (Topology.bus_id * Traffic.client * float) list
+(** All subsystems' requirements concatenated. *)
+
+val pp_summary : Format.formatter -> result -> unit

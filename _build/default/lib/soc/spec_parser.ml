@@ -1,0 +1,142 @@
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+type statement =
+  | Bus of string * float
+  | Proc of string * string
+  | Bridge of string * string * string
+  | Flow of string * string * float
+
+let parse_float ~lineno what s =
+  match float_of_string_opt s with
+  | Some f when f > 0. -> Ok f
+  | Some _ -> Error (Printf.sprintf "line %d: %s must be positive, got %s" lineno what s)
+  | None -> Error (Printf.sprintf "line %d: malformed %s %S" lineno what s)
+
+let parse_statement lineno tokens =
+  match tokens with
+  | [] -> Ok None
+  | [ "bus"; name ] -> Ok (Some (Bus (name, 1.0)))
+  | [ "bus"; name; "rate"; rate ] ->
+      Result.map (fun r -> Some (Bus (name, r))) (parse_float ~lineno "bus rate" rate)
+  | [ "proc"; name; "on"; bus ] -> Ok (Some (Proc (name, bus)))
+  | [ "bridge"; name; bus1; bus2 ] -> Ok (Some (Bridge (name, bus1, bus2)))
+  | [ "flow"; src; "->"; dst; "rate"; rate ] ->
+      Result.map (fun r -> Some (Flow (src, dst, r))) (parse_float ~lineno "flow rate" rate)
+  | keyword :: _ when List.mem keyword [ "bus"; "proc"; "bridge"; "flow" ] ->
+      Error
+        (Printf.sprintf "line %d: malformed %s statement: %S" lineno keyword
+           (String.concat " " tokens))
+  | keyword :: _ -> Error (Printf.sprintf "line %d: unknown keyword %S" lineno keyword)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let statements = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      if !error = None then
+        match parse_statement (i + 1) (tokenize (strip_comment line)) with
+        | Ok None -> ()
+        | Ok (Some s) -> statements := (i + 1, s) :: !statements
+        | Error e -> error := Some e)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let statements = List.rev !statements in
+      let b = Topology.builder () in
+      let buses = Hashtbl.create 8 in
+      let procs = Hashtbl.create 8 in
+      let flows = ref [] in
+      let build () =
+        List.iter
+          (fun (lineno, s) ->
+            match s with
+            | Bus (name, rate) ->
+                if Hashtbl.mem buses name then
+                  failwith (Printf.sprintf "line %d: duplicate bus %S" lineno name);
+                Hashtbl.add buses name (Topology.add_bus b ~service_rate:rate name)
+            | Proc (name, bus) -> (
+                match Hashtbl.find_opt buses bus with
+                | None -> failwith (Printf.sprintf "line %d: unknown bus %S" lineno bus)
+                | Some bus_id ->
+                    if Hashtbl.mem procs name then
+                      failwith (Printf.sprintf "line %d: duplicate processor %S" lineno name);
+                    Hashtbl.add procs name (Topology.add_processor b ~bus:bus_id name))
+            | Bridge (name, bus1, bus2) -> (
+                match (Hashtbl.find_opt buses bus1, Hashtbl.find_opt buses bus2) with
+                | None, _ -> failwith (Printf.sprintf "line %d: unknown bus %S" lineno bus1)
+                | _, None -> failwith (Printf.sprintf "line %d: unknown bus %S" lineno bus2)
+                | Some x, Some y -> (
+                    try ignore (Topology.add_bridge b ~between:(x, y) name)
+                    with Invalid_argument msg ->
+                      failwith (Printf.sprintf "line %d: %s" lineno msg)))
+            | Flow (src, dst, rate) -> (
+                match (Hashtbl.find_opt procs src, Hashtbl.find_opt procs dst) with
+                | None, _ -> failwith (Printf.sprintf "line %d: unknown processor %S" lineno src)
+                | _, None -> failwith (Printf.sprintf "line %d: unknown processor %S" lineno dst)
+                | Some s, Some d ->
+                    if s = d then
+                      failwith (Printf.sprintf "line %d: flow from %S to itself" lineno src);
+                    flows := { Traffic.src = s; dst = d; rate } :: !flows))
+          statements;
+        if !flows = [] then failwith "no flows defined: nothing to size";
+        let topo = Topology.finalize b in
+        let traffic =
+          try Traffic.create topo (List.rev !flows)
+          with Invalid_argument msg -> failwith msg
+        in
+        (topo, traffic)
+      in
+      match build () with
+      | result -> Ok result
+      | exception Failure msg -> Error msg
+      | exception Invalid_argument msg -> Error msg)
+
+let parse_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      parse text
+
+let to_string topo traffic =
+  let buf = Buffer.create 512 in
+  Array.iter
+    (fun (b : Topology.bus) ->
+      Buffer.add_string buf
+        (Printf.sprintf "bus %s rate %g\n" b.Topology.bus_name b.Topology.service_rate))
+    (Topology.buses topo);
+  Array.iter
+    (fun (p : Topology.processor) ->
+      Buffer.add_string buf
+        (Printf.sprintf "proc %s on %s\n" p.Topology.proc_name
+           (Topology.bus topo p.Topology.home_bus).Topology.bus_name))
+    (Topology.processors topo);
+  Array.iter
+    (fun (br : Topology.bridge) ->
+      let x, y = br.Topology.endpoints in
+      Buffer.add_string buf
+        (Printf.sprintf "bridge %s %s %s\n" br.Topology.bridge_name
+           (Topology.bus topo x).Topology.bus_name
+           (Topology.bus topo y).Topology.bus_name))
+    (Topology.bridges topo);
+  Array.iter
+    (fun (f : Traffic.flow) ->
+      Buffer.add_string buf
+        (Printf.sprintf "flow %s -> %s rate %g\n"
+           (Topology.processor topo f.Traffic.src).Topology.proc_name
+           (Topology.processor topo f.Traffic.dst).Topology.proc_name
+           f.Traffic.rate))
+    (Traffic.flows traffic);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Text format for architectures and traffic.
+
+    A small line-oriented description language so the CLI can size
+    user-defined SoCs without writing OCaml:
+
+    {v
+    # comments and blank lines are ignored
+    bus    core rate 20.0          # a bus with service rate (default 1.0)
+    bus    io
+    proc   cpu on core             # a processor homed on a bus
+    proc   dma on io
+    bridge br0 core io             # a bridge between two buses
+    flow   cpu -> dma rate 1.5     # a Poisson request flow
+    v}
+
+    Identifiers are non-empty words without whitespace; keywords are
+    lowercase.  Errors are reported with their line numbers. *)
+
+val parse : string -> (Topology.t * Traffic.t, string) result
+(** Parse a description from a string.  At least one flow is required
+    (a traffic-less architecture has nothing to size). *)
+
+val parse_file : string -> (Topology.t * Traffic.t, string) result
+(** Like {!parse}, reading the given file.  I/O errors are reported in
+    the [Error] case. *)
+
+val to_string : Topology.t -> Traffic.t -> string
+(** Render an architecture back into the text format ({!parse} of the
+    result reconstructs an equivalent architecture). *)

@@ -1,0 +1,180 @@
+type bus_id = int
+type proc_id = int
+type bridge_id = int
+
+type bus = { bus_id : bus_id; bus_name : string; service_rate : float }
+type processor = { proc_id : proc_id; proc_name : string; home_bus : bus_id }
+
+type bridge = {
+  bridge_id : bridge_id;
+  bridge_name : string;
+  endpoints : bus_id * bus_id;
+}
+
+type builder = {
+  mutable b_buses : bus list;  (* reversed *)
+  mutable b_procs : processor list;
+  mutable b_bridges : bridge list;
+  mutable names : string list;
+}
+
+type t = {
+  t_buses : bus array;
+  t_procs : processor array;
+  t_bridges : bridge array;
+  by_bus : processor list array;  (* processors per bus *)
+  bridges_by_bus : bridge list array;
+}
+
+let builder () = { b_buses = []; b_procs = []; b_bridges = []; names = [] }
+
+let check_name b name =
+  if List.mem name b.names then
+    invalid_arg (Printf.sprintf "Topology: duplicate name %S" name);
+  b.names <- name :: b.names
+
+let add_bus b ?(service_rate = 1.0) name =
+  if service_rate <= 0. then invalid_arg "Topology.add_bus: nonpositive service rate";
+  check_name b name;
+  let id = List.length b.b_buses in
+  b.b_buses <- { bus_id = id; bus_name = name; service_rate } :: b.b_buses;
+  id
+
+let known_bus b id =
+  if id < 0 || id >= List.length b.b_buses then
+    invalid_arg (Printf.sprintf "Topology: unknown bus %d" id)
+
+let add_processor b ~bus name =
+  known_bus b bus;
+  check_name b name;
+  let id = List.length b.b_procs in
+  b.b_procs <- { proc_id = id; proc_name = name; home_bus = bus } :: b.b_procs;
+  id
+
+let add_bridge b ~between name =
+  let x, y = between in
+  known_bus b x;
+  known_bus b y;
+  if x = y then invalid_arg "Topology.add_bridge: endpoints coincide";
+  check_name b name;
+  let id = List.length b.b_bridges in
+  b.b_bridges <- { bridge_id = id; bridge_name = name; endpoints = between } :: b.b_bridges;
+  id
+
+let finalize b =
+  let t_buses = Array.of_list (List.rev b.b_buses) in
+  let t_procs = Array.of_list (List.rev b.b_procs) in
+  let t_bridges = Array.of_list (List.rev b.b_bridges) in
+  let nb = Array.length t_buses in
+  let by_bus = Array.make nb [] in
+  Array.iter (fun p -> by_bus.(p.home_bus) <- p :: by_bus.(p.home_bus)) t_procs;
+  Array.iteri (fun i ps -> by_bus.(i) <- List.rev ps) by_bus;
+  let bridges_by_bus = Array.make nb [] in
+  Array.iter
+    (fun br ->
+      let x, y = br.endpoints in
+      bridges_by_bus.(x) <- br :: bridges_by_bus.(x);
+      bridges_by_bus.(y) <- br :: bridges_by_bus.(y))
+    t_bridges;
+  Array.iteri (fun i bs -> bridges_by_bus.(i) <- List.rev bs) bridges_by_bus;
+  { t_buses; t_procs; t_bridges; by_bus; bridges_by_bus }
+
+let num_buses t = Array.length t.t_buses
+let num_processors t = Array.length t.t_procs
+let num_bridges t = Array.length t.t_bridges
+let bus t id = t.t_buses.(id)
+let processor t id = t.t_procs.(id)
+let bridge t id = t.t_bridges.(id)
+let buses t = Array.copy t.t_buses
+let processors t = Array.copy t.t_procs
+let bridges t = Array.copy t.t_bridges
+let processors_on_bus t id = t.by_bus.(id)
+let bridges_of_bus t id = t.bridges_by_bus.(id)
+
+let find_bus t name =
+  match Array.find_opt (fun b -> b.bus_name = name) t.t_buses with
+  | Some b -> b.bus_id
+  | None -> raise Not_found
+
+let find_processor t name =
+  match Array.find_opt (fun p -> p.proc_name = name) t.t_procs with
+  | Some p -> p.proc_id
+  | None -> raise Not_found
+
+(* BFS over the bus graph; parents record the bridge used to reach a bus. *)
+let route t src dst =
+  if src = dst then Some []
+  else begin
+    let n = num_buses t in
+    let parent = Array.make n None in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun br ->
+          let x, y = br.endpoints in
+          let v = if x = u then y else x in
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            parent.(v) <- Some (u, br.bridge_id);
+            if v = dst then found := true else Queue.add v q
+          end)
+        t.bridges_by_bus.(u)
+    done;
+    if not !found then None
+    else begin
+      let rec collect v acc =
+        match parent.(v) with
+        | None -> acc
+        | Some (u, br) -> collect u (br :: acc)
+      in
+      Some (collect dst [])
+    end
+  end
+
+let bus_path t src dst =
+  match route t src dst with
+  | None -> None
+  | Some brs ->
+      let step current br_id =
+        let x, y = (bridge t br_id).endpoints in
+        if x = current then y else x
+      in
+      let rec walk current = function
+        | [] -> []
+        | br :: rest ->
+            let next = step current br in
+            next :: walk next rest
+      in
+      Some (src :: walk src brs)
+
+let is_connected t =
+  let n = num_buses t in
+  n <= 1
+  ||
+  let ok = ref true in
+  for v = 1 to n - 1 do
+    if route t 0 v = None then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>topology: %d buses, %d processors, %d bridges" (num_buses t)
+    (num_processors t) (num_bridges t);
+  Array.iter
+    (fun b ->
+      let procs = processors_on_bus t b.bus_id |> List.map (fun p -> p.proc_name) in
+      Format.fprintf ppf "@,  bus %s (mu=%.3g): procs [%s]" b.bus_name b.service_rate
+        (String.concat "; " procs))
+    t.t_buses;
+  Array.iter
+    (fun br ->
+      let x, y = br.endpoints in
+      Format.fprintf ppf "@,  bridge %s: %s <-> %s" br.bridge_name (bus t x).bus_name
+        (bus t y).bus_name)
+    t.t_bridges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,78 @@
+(** SoC communication-architecture topology.
+
+    An architecture is a set of buses, bridges connecting pairs of buses,
+    and processors (IP cores) each attached to one bus — the structure of
+    the paper's Figure 1.  Buses are the vertices of the "bus graph" and
+    bridges its edges; requests between processors on different buses are
+    routed along shortest bridge paths.
+
+    Build with the mutable {!builder} API, then {!finalize}; a finalized
+    topology is immutable and validated (connected references, no
+    duplicate names, no bridge from a bus to itself). *)
+
+type bus_id = int
+type proc_id = int
+type bridge_id = int
+
+type bus = { bus_id : bus_id; bus_name : string; service_rate : float }
+(** [service_rate] is the bus transfer rate mu: requests served per time
+    unit when the bus is busy. *)
+
+type processor = { proc_id : proc_id; proc_name : string; home_bus : bus_id }
+
+type bridge = {
+  bridge_id : bridge_id;
+  bridge_name : string;
+  endpoints : bus_id * bus_id;
+}
+
+type builder
+
+type t
+
+val builder : unit -> builder
+
+val add_bus : builder -> ?service_rate:float -> string -> bus_id
+(** Default [service_rate] is [1.0].
+    @raise Invalid_argument on duplicate name or nonpositive rate. *)
+
+val add_processor : builder -> bus:bus_id -> string -> proc_id
+
+val add_bridge : builder -> between:bus_id * bus_id -> string -> bridge_id
+(** @raise Invalid_argument if the endpoints coincide or are unknown. *)
+
+val finalize : builder -> t
+
+val num_buses : t -> int
+val num_processors : t -> int
+val num_bridges : t -> int
+
+val bus : t -> bus_id -> bus
+val processor : t -> proc_id -> processor
+val bridge : t -> bridge_id -> bridge
+
+val buses : t -> bus array
+val processors : t -> processor array
+val bridges : t -> bridge array
+
+val processors_on_bus : t -> bus_id -> processor list
+
+val bridges_of_bus : t -> bus_id -> bridge list
+
+val find_bus : t -> string -> bus_id
+(** @raise Not_found *)
+
+val find_processor : t -> string -> proc_id
+(** @raise Not_found *)
+
+val route : t -> bus_id -> bus_id -> bridge_id list option
+(** Shortest bridge path between two buses (BFS; [Some []] when equal,
+    [None] when disconnected).  Deterministic tie-breaking by bridge id. *)
+
+val bus_path : t -> bus_id -> bus_id -> bus_id list option
+(** The bus sequence visited by {!route}, including both endpoints. *)
+
+val is_connected : t -> bool
+(** Whether the bus graph is connected (vacuously true with <= 1 bus). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+(** Traffic specification and routed load derivation.
+
+    A traffic spec is a set of flows (source processor, destination
+    processor, Poisson request rate).  Binding a spec to a topology routes
+    every flow along the shortest bridge path and derives, for every bus,
+    its {e clients}: buffered request sources contending for that bus.
+    A client is either a processor's outgoing buffer or a bridge buffer
+    (one per direction per bridge, sitting at the entry of the bus it
+    feeds) — the buffers the paper inserts to split the architecture. *)
+
+type flow = { src : Topology.proc_id; dst : Topology.proc_id; rate : float }
+
+type client =
+  | Proc_client of Topology.proc_id
+      (** the processor's outgoing buffer on its home bus *)
+  | Bridge_client of { bridge : Topology.bridge_id; into_bus : Topology.bus_id }
+      (** the inserted bridge buffer feeding [into_bus] *)
+
+type t
+
+val create : Topology.t -> flow list -> t
+(** Routes all flows.
+    @raise Invalid_argument on unknown processors, nonpositive rates,
+    self-flows, or unroutable (disconnected) flows. *)
+
+val topology : t -> Topology.t
+
+val flows : t -> flow array
+
+val total_offered : t -> float
+(** Sum of all flow rates. *)
+
+val offered_by_proc : t -> Topology.proc_id -> float
+(** Total request rate emitted by a processor (sum of its flows). *)
+
+val hops : t -> flow -> (Topology.bus_id * client) list
+(** The buffer sequence a flow's requests traverse: first the source
+    processor's buffer on its home bus, then one bridge buffer per crossed
+    bridge.  @raise Not_found if [flow] is not part of this spec. *)
+
+val clients_of_bus : t -> Topology.bus_id -> (client * float) list
+(** Clients contending for a bus with their aggregate arrival rates.
+    Every processor homed on the bus appears (possibly with rate 0); bridge
+    clients appear only when some routed flow loads them.  Deterministic
+    order: processors by id, then bridge clients by (bridge, into_bus). *)
+
+val all_clients : t -> (Topology.bus_id * client * float) list
+(** {!clients_of_bus} flattened over all buses, bus-major order. *)
+
+val client_label : Topology.t -> client -> string
+
+val client_equal : client -> client -> bool
+
+val bus_utilization : t -> Topology.bus_id -> float
+(** Offered load divided by service rate: rho = sum(client rates) / mu.
+    Above 1 the bus is overloaded and losses are inevitable. *)
+
+val pp : Format.formatter -> t -> unit

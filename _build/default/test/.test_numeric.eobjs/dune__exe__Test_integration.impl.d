@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bufsize Bufsize_numeric Float Format List Printf String

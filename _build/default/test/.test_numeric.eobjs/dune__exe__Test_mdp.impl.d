@@ -1,0 +1,1 @@
+test/test_mdp.ml: Alcotest Array Bufsize_mdp Bufsize_numeric Bufsize_prob Float List QCheck

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Bufsize_numeric Float List QCheck

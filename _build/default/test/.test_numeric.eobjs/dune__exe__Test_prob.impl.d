@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Bufsize_numeric Bufsize_prob Float QCheck

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bufsize_numeric Bufsize_prob Bufsize_sim Bufsize_soc Float List

@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Array Bufsize_mdp Bufsize_prob Bufsize_soc Float Int List Printf QCheck String

@@ -1,0 +1,206 @@
+(* Integration tests: the full paper pipeline on small instances — sizing,
+   re-simulation, policy comparison, and the core claims' shape (losses
+   drop after sizing; large budgets drive losses toward zero). *)
+
+module B = Bufsize
+module Stats = Bufsize_numeric.Stats
+
+(* A compact bridged architecture that runs fast: two buses, one bridge,
+   four processors, utilization high enough to lose requests. *)
+let small_arch () =
+  let b = B.Topology.builder () in
+  let bus0 = B.Topology.add_bus b ~service_rate:3.0 "left" in
+  let bus1 = B.Topology.add_bus b ~service_rate:3.0 "right" in
+  let p0 = B.Topology.add_processor b ~bus:bus0 "A" in
+  let p1 = B.Topology.add_processor b ~bus:bus0 "B" in
+  let p2 = B.Topology.add_processor b ~bus:bus1 "C" in
+  let p3 = B.Topology.add_processor b ~bus:bus1 "D" in
+  let _ = B.Topology.add_bridge b ~between:(bus0, bus1) "br" in
+  let topo = B.Topology.finalize b in
+  let traffic =
+    B.Traffic.create topo
+      [
+        { B.Traffic.src = p0; dst = p2; rate = 1.2 };
+        { B.Traffic.src = p1; dst = p0; rate = 0.9 };
+        { B.Traffic.src = p2; dst = p3; rate = 1.0 };
+        { B.Traffic.src = p3; dst = p1; rate = 0.8 };
+      ]
+  in
+  (topo, traffic)
+
+let quick_experiment ?(budget = 12) traffic =
+  B.experiment ~budget ~horizon:800. ~warmup:50. ~replications:3
+    ~config:{ (B.Sizing.default_config ~budget) with B.Sizing.max_states = 48 }
+    traffic
+
+let test_full_pipeline_runs () =
+  let _, traffic = small_arch () in
+  let outcome = B.size_and_evaluate (quick_experiment traffic) in
+  Alcotest.(check bool) "sizing allocated the budget" true
+    (B.Buffer_alloc.total outcome.B.sizing.B.Sizing.allocation = 12);
+  Alcotest.(check bool) "baseline loses requests" true
+    (Stats.mean outcome.B.before.B.aggregate.B.Replicate.total_lost > 0.)
+
+let test_sizing_beats_or_matches_uniform () =
+  (* The headline claim, on a small instance with modest statistics: the
+     CTMDP sizing should not be substantially worse than uniform. *)
+  let _, traffic = small_arch () in
+  let outcome = B.size_and_evaluate (quick_experiment traffic) in
+  let before = Stats.mean outcome.B.before.B.aggregate.B.Replicate.total_lost in
+  let after = Stats.mean outcome.B.after.B.aggregate.B.Replicate.total_lost in
+  Alcotest.(check bool)
+    (Printf.sprintf "after (%.0f) <= 1.25 * before (%.0f)" after before)
+    true
+    (after <= (1.25 *. before) +. 5.)
+
+let test_timeout_variant_worse () =
+  let _, traffic = small_arch () in
+  let outcome = B.size_and_evaluate (quick_experiment traffic) in
+  let timeout = Stats.mean outcome.B.timeout_variant.B.aggregate.B.Replicate.total_lost in
+  let before = Stats.mean outcome.B.before.B.aggregate.B.Replicate.total_lost in
+  Alcotest.(check bool) "timeout no better than plain baseline" true (timeout >= before -. 1.)
+
+let test_large_budget_drives_losses_down () =
+  (* Table 1's trend: post-sizing losses shrink as the budget grows. *)
+  let _, traffic = small_arch () in
+  let losses budget =
+    let outcome = B.size_and_evaluate (quick_experiment ~budget traffic) in
+    Stats.mean outcome.B.after.B.aggregate.B.Replicate.total_lost
+  in
+  let small = losses 8 in
+  let large = losses 48 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss at budget 48 (%.0f) < loss at budget 8 (%.0f)" large small)
+    true (large < small)
+
+let test_stochastic_arbiter_usable () =
+  let _, traffic = small_arch () in
+  let sizing =
+    B.Sizing.run { (B.Sizing.default_config ~budget:12) with B.Sizing.max_states = 48 } traffic
+  in
+  let arbiter = B.stochastic_arbiter sizing in
+  let spec =
+    {
+      (B.Sim_run.default_spec ~traffic ~allocation:sizing.B.Sizing.allocation) with
+      B.Sim_run.arbiter;
+      horizon = 500.;
+      warmup = 50.;
+    }
+  in
+  let report = B.Sim_run.run spec in
+  Alcotest.(check bool) "stochastic arbiter delivers" true (B.Metrics.total_delivered report > 0)
+
+let test_outcome_report_prints () =
+  let _, traffic = small_arch () in
+  let outcome = B.size_and_evaluate (quick_experiment traffic) in
+  let s = Format.asprintf "%a" B.pp_outcome outcome in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mentions totals" true
+    (String.length s > 100 && contains "improvement" s)
+
+let test_fig1_architecture_sizes () =
+  let _, traffic = B.Fig1.create () in
+  let sizing =
+    B.Sizing.run { (B.Sizing.default_config ~budget:40) with B.Sizing.max_states = 48 } traffic
+  in
+  (* Every buffer of the paper's figure gets at least one word. *)
+  Array.iter
+    (fun e -> Alcotest.(check bool) "nonzero" true (e.B.Buffer_alloc.words >= 1))
+    sizing.B.Sizing.allocation.B.Buffer_alloc.entries
+
+let test_amba_pipeline () =
+  let _, traffic = B.Amba.create () in
+  let outcome =
+    B.size_and_evaluate
+      (B.experiment ~budget:24 ~replications:3 ~horizon:800.
+         ~config:{ (B.Sizing.default_config ~budget:24) with B.Sizing.max_states = 64 }
+         traffic)
+  in
+  Alcotest.(check bool) "AMBA sizing completes" true
+    (B.Buffer_alloc.total outcome.B.sizing.B.Sizing.allocation = 24);
+  (* Latency stats flow through the replication aggregate. *)
+  let latencies = outcome.B.after.B.aggregate.B.Replicate.per_proc_latency in
+  Alcotest.(check bool) "latency aggregated" true
+    (Array.exists (fun s -> Stats.count s > 0 && Float.is_finite (Stats.mean s)) latencies)
+
+let test_spec_parser_pipeline () =
+  (* Architecture defined in the text format, sized end to end. *)
+  let text =
+    {|
+bus west rate 3.0
+bus east rate 2.5
+proc A on west
+proc B on west
+proc C on east
+bridge br west east
+flow A -> C rate 1.4
+flow C -> B rate 0.6
+|}
+  in
+  match B.Spec_parser.parse text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok (_, traffic) ->
+      let outcome = B.size_and_evaluate (quick_experiment ~budget:10 traffic) in
+      Alcotest.(check bool) "parsed architecture sizes and simulates" true
+        (Stats.count outcome.B.after.B.aggregate.B.Replicate.total_lost = 3)
+
+let test_weighted_experiment_protects_processor () =
+  (* End-to-end check of the weighted-loss extension on the small arch:
+     heavily weighting the busiest source should not increase its loss. *)
+  let _, traffic = small_arch () in
+  let base = B.size_and_evaluate (quick_experiment traffic) in
+  let weighted_config =
+    {
+      (B.Sizing.default_config ~budget:12) with
+      B.Sizing.max_states = 48;
+      client_weight =
+        (fun c ->
+          match c with
+          | B.Traffic.Proc_client 0 -> 8.
+          | B.Traffic.Proc_client _ | B.Traffic.Bridge_client _ -> 1.);
+    }
+  in
+  let weighted =
+    B.size_and_evaluate
+      (B.experiment ~budget:12 ~horizon:800. ~warmup:50. ~replications:3
+         ~config:weighted_config traffic)
+  in
+  let loss_of o = (B.per_proc_mean_losses o.B.after).(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted loss (%.0f) <= unweighted (%.0f) + slack" (loss_of weighted)
+       (loss_of base))
+    true
+    (loss_of weighted <= loss_of base +. 10.)
+
+let test_profiled_sizing_runs () =
+  let _, traffic = small_arch () in
+  let exp = quick_experiment traffic in
+  let final, losses = B.profiled_sizing ~rounds:3 exp in
+  Alcotest.(check int) "one loss per round" 3 (List.length losses);
+  Alcotest.(check int) "budget preserved" 12 (B.Buffer_alloc.total final.B.Sizing.allocation);
+  List.iter
+    (fun loss -> Alcotest.(check bool) "losses finite" true (Float.is_finite loss && loss >= 0.))
+    losses
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "full pipeline" `Slow test_full_pipeline_runs;
+          Alcotest.test_case "sizing vs uniform" `Slow test_sizing_beats_or_matches_uniform;
+          Alcotest.test_case "timeout variant worse" `Slow test_timeout_variant_worse;
+          Alcotest.test_case "budget sweep trend" `Slow test_large_budget_drives_losses_down;
+          Alcotest.test_case "stochastic arbiter" `Slow test_stochastic_arbiter_usable;
+          Alcotest.test_case "report rendering" `Slow test_outcome_report_prints;
+          Alcotest.test_case "fig1 sizing" `Quick test_fig1_architecture_sizes;
+          Alcotest.test_case "amba pipeline + latency" `Slow test_amba_pipeline;
+          Alcotest.test_case "spec-parser pipeline" `Slow test_spec_parser_pipeline;
+          Alcotest.test_case "weighted experiment" `Slow test_weighted_experiment_protects_processor;
+          Alcotest.test_case "profiled re-sizing" `Slow test_profiled_sizing_runs;
+        ] );
+    ]
