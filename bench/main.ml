@@ -10,16 +10,44 @@
      ablation-quantile   sensitivity to the occupancy quantile
      ablation-levels     CTMDP discretization vs resulting loss
      ablation-solver     joint LP vs separate LPs vs policy iteration
+     parallel            domain-pool scaling: sizing LPs and replications
+                         at 1/2/4/all domains, with an identical-statistics
+                         cross-check
      perf                bechamel microbenchmarks
 
    With no argument the paper artifacts (fig1 nonlinear fig3 table1) run in
-   order.  `all` adds the ablations and perf. *)
+   order.  `all` adds the ablations, parallel, and perf.  Runs that include
+   `parallel` or `perf` also write BENCH_parallel.json with per-artifact
+   wall-clock times (machine-readable perf trajectory). *)
 
 module B = Bufsize
 module Stats = Bufsize_numeric.Stats
 
 let section title =
   Format.printf "@.=== %s ===@.@." title
+
+(* --------------------------------------------- machine-readable timings *)
+
+let bench_records : (string * float * float option) list ref = ref []
+
+let record ?speedup name seconds = bench_records := (name, seconds, speedup) :: !bench_records
+
+let write_bench_json path =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"bufsize-bench-v1\",\n  \"entries\": [\n";
+  let entries = List.rev !bench_records in
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (name, secs, speedup) ->
+      Printf.fprintf oc "    {\"name\": %S, \"seconds\": %.6f%s}%s\n" name secs
+        (match speedup with
+        | None -> ""
+        | Some s -> Printf.sprintf ", \"speedup\": %.3f" s)
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.(json written to %s)@." path
 
 (* ------------------------------------------------------------------ FIG1 *)
 
@@ -351,6 +379,114 @@ let run_ablation_profiling () =
      and quantile quantization absorbs the (<= ~20%%) rate shifts that loss thinning@.\
      causes, so the analytically routed rates are already adequate for Poisson traffic.@."
 
+(* ------------------------------------------------------------- PARALLEL *)
+
+(* Wall-clock scaling of the two pool-mapped hot paths at 1, 2, 4, and all
+   domains.  Every configuration must produce the SAME numbers — the pool
+   preserves item ordering and the aggregation is a deterministic fold —
+   so the artifact cross-checks statistics bitwise across domain counts
+   besides timing them. *)
+let run_parallel () =
+  section "PARALLEL: domain-pool scaling (Table 1 sizing LPs, 32-replication simulation)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let all = B.Pool.default_size () in
+  let sizes = List.sort_uniq compare [ 1; 2; 4; all ] in
+  Format.printf "domain counts: %s (machine default %d; BUFSIZE_NUM_DOMAINS overrides)@.@."
+    (String.concat ", " (List.map string_of_int sizes))
+    all;
+  let with_pool k f =
+    let pool = B.Pool.create k in
+    Fun.protect ~finally:(fun () -> B.Pool.shutdown pool) (fun () -> f pool)
+  in
+  let _, traffic = B.Netproc.create () in
+  (* --- Table 1 sizing, Separate solver: per-subsystem LPs fan out --- *)
+  let sizing_config =
+    {
+      (B.Sizing.default_config ~budget:160) with
+      B.Sizing.max_states = 64;
+      solver = B.Sizing.Separate;
+    }
+  in
+  Format.printf "Table 1 sizing (netproc, budget 160, separate per-subsystem LPs):@.";
+  Format.printf "  %-10s %10s %10s@." "domains" "time (s)" "speedup";
+  let sizing_base = ref Float.nan in
+  let sizing_gain = ref Float.nan in
+  let sizing_alloc = ref None in
+  List.iter
+    (fun k ->
+      let dt, r = with_pool k (fun pool -> time (fun () -> B.Sizing.run ~pool sizing_config traffic)) in
+      if Float.is_nan !sizing_base then sizing_base := dt;
+      (match !sizing_alloc with None -> sizing_alloc := Some r.B.Sizing.allocation | Some _ -> ());
+      let gain = r.B.Sizing.predicted_loss_rate in
+      if Float.is_nan !sizing_gain then sizing_gain := gain
+      else if gain <> !sizing_gain then
+        Format.printf "  WARNING: predicted gain differs across domain counts (%.17g vs %.17g)@."
+          gain !sizing_gain;
+      let speedup = !sizing_base /. dt in
+      record ~speedup (Printf.sprintf "parallel:sizing-table1:domains=%d" k) dt;
+      Format.printf "  %-10d %10.2f %9.2fx@." k dt speedup)
+    sizes;
+  (* --- 32-replication simulation of the sized allocation --- *)
+  let allocation =
+    match !sizing_alloc with Some a -> a | None -> B.Buffer_alloc.uniform traffic ~budget:160
+  in
+  let spec =
+    {
+      (B.Sim_run.default_spec ~traffic ~allocation) with
+      B.Sim_run.horizon = 2000.;
+      warmup = 100.;
+    }
+  in
+  Format.printf "@.32-replication simulation (netproc, horizon 2000):@.";
+  Format.printf "  %-10s %10s %10s %14s@." "domains" "time (s)" "speedup" "mean lost";
+  let sim_base = ref Float.nan in
+  let reference = ref None in
+  let identical = ref true in
+  List.iter
+    (fun k ->
+      let dt, agg =
+        with_pool k (fun pool -> time (fun () -> B.Replicate.run ~pool ~replications:32 spec))
+      in
+      if Float.is_nan !sim_base then sim_base := dt;
+      (* Bitwise comparison against the 1-domain statistics. *)
+      let fingerprint (agg : B.Replicate.aggregate) =
+        Array.concat
+          [
+            [|
+              float_of_int (Stats.count agg.B.Replicate.total_lost);
+              Stats.mean agg.B.Replicate.total_lost;
+              Stats.variance agg.B.Replicate.total_lost;
+              Stats.mean agg.B.Replicate.loss_fraction;
+              Stats.variance agg.B.Replicate.loss_fraction;
+            |];
+            B.Replicate.mean_per_proc_lost agg;
+          ]
+      in
+      let fp = fingerprint agg in
+      (match !reference with
+      | None -> reference := Some fp
+      | Some ref_fp ->
+          if
+            not
+              (Array.for_all2
+                 (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+                 ref_fp fp)
+          then begin
+            identical := false;
+            Format.printf "  WARNING: statistics differ from the 1-domain run!@."
+          end);
+      let speedup = !sim_base /. dt in
+      record ~speedup (Printf.sprintf "parallel:sim32:domains=%d" k) dt;
+      Format.printf "  %-10d %10.2f %9.2fx %14.1f@." k dt speedup
+        (Stats.mean agg.B.Replicate.total_lost))
+    sizes;
+  Format.printf "@.loss statistics across domain counts: %s@."
+    (if !identical then "bitwise identical" else "DIVERGED (bug)")
+
 (* ----------------------------------------------------------------- PERF *)
 
 let run_perf () =
@@ -406,7 +542,9 @@ let run_perf () =
         Hashtbl.iter
           (fun name ols ->
             match Analyze.OLS.estimates ols with
-            | Some [ est ] -> Format.printf "  %-28s %12.1f ns/run@." name est
+            | Some [ est ] ->
+                record (Printf.sprintf "perf:%s" name) (est *. 1e-9);
+                Format.printf "  %-28s %12.1f ns/run@." name est
             | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
           by_test)
     results
@@ -422,6 +560,7 @@ let () =
       "ablation-solver";
       "ablation-weights";
       "ablation-profiling";
+      "parallel";
       "perf";
     ]
   in
@@ -434,7 +573,9 @@ let () =
   in
   List.iter
     (fun name ->
-      match name with
+      let t0 = Unix.gettimeofday () in
+      let known = ref true in
+      (match name with
       | "fig1" -> run_fig1 ()
       | "nonlinear" -> run_nonlinear ()
       | "fig3" -> ignore (run_fig3 ())
@@ -444,8 +585,13 @@ let () =
       | "ablation-solver" -> run_ablation_solver ()
       | "ablation-weights" -> run_ablation_weights ()
       | "ablation-profiling" -> run_ablation_profiling ()
+      | "parallel" -> run_parallel ()
       | "perf" -> run_perf ()
       | other ->
+          known := false;
           Format.printf "unknown artifact %S; known: %s@." other
-            (String.concat ", " (artifacts @ ablations @ [ "all" ])))
-    selected
+            (String.concat ", " (artifacts @ ablations @ [ "all" ])));
+      if !known then record (Printf.sprintf "artifact:%s" name) (Unix.gettimeofday () -. t0))
+    selected;
+  if List.exists (fun a -> a = "perf" || a = "parallel") selected then
+    write_bench_json "BENCH_parallel.json"

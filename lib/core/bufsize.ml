@@ -1,3 +1,4 @@
+module Pool = Bufsize_pool.Pool
 module Numeric = Bufsize_numeric
 module Prob = Bufsize_prob
 module Mdp = Bufsize_mdp

@@ -24,6 +24,7 @@
 
 (** {1 Re-exported layers} *)
 
+module Pool = Bufsize_pool.Pool
 module Numeric = Bufsize_numeric
 module Prob = Bufsize_prob
 module Mdp = Bufsize_mdp

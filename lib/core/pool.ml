@@ -1,0 +1,174 @@
+(* A job is an array of independent items claimed by index from a shared
+   atomic counter.  Workers are persistent domains that sleep between jobs;
+   a generation counter tells them a new job was published.  The caller's
+   domain participates in every job, so a pool of size [k] really applies
+   [k] domains to the work. *)
+
+type job = {
+  run : int -> unit;  (* process item [i]; must not raise (pre-wrapped) *)
+  count : int;
+  next : int Atomic.t;  (* next unclaimed index *)
+  remaining : int Atomic.t;  (* items not yet finished *)
+  fin_m : Mutex.t;
+  fin_cv : Condition.t;
+  mutable fin : bool;
+}
+
+type t = {
+  total : int;  (* worker domains + the calling domain *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable gen : int;  (* bumped when [current] is published *)
+  mutable current : job option;
+  mutable stop : bool;
+  busy : Mutex.t;  (* held by the caller for a whole map; try-locked *)
+  mutable workers : unit Domain.t array;
+}
+
+let steal job =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.count then begin
+      job.run i;
+      if Atomic.fetch_and_add job.remaining (-1) = 1 then begin
+        Mutex.lock job.fin_m;
+        job.fin <- true;
+        Condition.broadcast job.fin_cv;
+        Mutex.unlock job.fin_m
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop pool =
+  let rec loop last_gen =
+    Mutex.lock pool.m;
+    while (not pool.stop) && pool.gen = last_gen do
+      Condition.wait pool.cv pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      let gen = pool.gen and job = pool.current in
+      Mutex.unlock pool.m;
+      (match job with Some j -> steal j | None -> ());
+      loop gen
+    end
+  in
+  loop 0
+
+let create total =
+  if total < 1 then invalid_arg "Pool.create: need at least one domain";
+  let pool =
+    {
+      total;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      gen = 0;
+      current = None;
+      stop = false;
+      busy = Mutex.create ();
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.total
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.cv;
+  Mutex.unlock pool.m;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let default_size () =
+  match Sys.getenv_opt "BUFSIZE_NUM_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          invalid_arg "Pool.default_size: BUFSIZE_NUM_DOMAINS must be a positive integer")
+
+let default_m = Mutex.create ()
+let default_p = ref None
+
+let default () =
+  Mutex.lock default_m;
+  let p =
+    match !default_p with
+    | Some p -> p
+    | None ->
+        let p = create (default_size ()) in
+        default_p := Some p;
+        p
+  in
+  Mutex.unlock default_m;
+  p
+
+(* Run [f 0 .. f (n-1)] on the pool.  Sequential when the pool has one
+   domain, was shut down, or is already running a job (nested calls from a
+   worker's item function, or concurrent callers) — the try-lock on [busy]
+   makes re-entrancy a graceful degradation instead of a deadlock. *)
+let run_items pool f n =
+  if n > 0 then begin
+    if pool.total = 1 || n = 1 || Array.length pool.workers = 0 || not (Mutex.try_lock pool.busy)
+    then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let error = Atomic.make None in
+      let guarded i =
+        if Atomic.get error = None then
+          try f i with e -> ignore (Atomic.compare_and_set error None (Some e))
+      in
+      let job =
+        {
+          run = guarded;
+          count = n;
+          next = Atomic.make 0;
+          remaining = Atomic.make n;
+          fin_m = Mutex.create ();
+          fin_cv = Condition.create ();
+          fin = false;
+        }
+      in
+      Mutex.lock pool.m;
+      pool.current <- Some job;
+      pool.gen <- pool.gen + 1;
+      Condition.broadcast pool.cv;
+      Mutex.unlock pool.m;
+      steal job;
+      Mutex.lock job.fin_m;
+      while not job.fin do
+        Condition.wait job.fin_cv job.fin_m
+      done;
+      Mutex.unlock job.fin_m;
+      Mutex.lock pool.m;
+      pool.current <- None;
+      Mutex.unlock pool.m;
+      Mutex.unlock pool.busy;
+      match Atomic.get error with Some e -> raise e | None -> ()
+    end
+  end
+
+let mapi_array ?pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let pool = match pool with Some p -> p | None -> default () in
+    if pool.total = 1 || n = 1 then Array.mapi f a
+    else begin
+      (* An option buffer keeps the write type-safe for any ['b] (a raw
+         [Array.make] with a dummy would misrepresent float arrays). *)
+      let out = Array.make n None in
+      run_items pool (fun i -> out.(i) <- Some (f i a.(i))) n;
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+  end
+
+let map_array ?pool f a = mapi_array ?pool (fun _ x -> f x) a

@@ -1,0 +1,55 @@
+(** Fixed-size domain work pool for coarse-grained data parallelism.
+
+    The paper's central structural result — bridge splitting turns one
+    intractable quadratic system into independent linear subsystems — makes
+    the evaluation pipeline embarrassingly parallel: per-subsystem LP
+    solves, per-subsystem CTMDP construction, and simulation replications
+    share no state.  This pool runs such independent array jobs across
+    OCaml 5 domains while keeping results bitwise-deterministic: item [i]'s
+    result always lands in slot [i], and the work function receives exactly
+    the same inputs regardless of how many domains execute.
+
+    Design notes:
+    - A pool of size [k] uses [k - 1] persistent worker domains plus the
+      calling domain; workers sleep on a condition variable between jobs,
+      so a pool is cheap to keep around and reuse.
+    - A pool of size 1 spawns no domains and [map_array] degenerates to
+      [Array.map] — the reproducible sequential baseline.
+    - Jobs are claimed from a shared atomic counter (work stealing by
+      index), so uneven item costs balance automatically.
+    - Nested or concurrent [map_array] calls on a busy pool fall back to
+      sequential execution on the caller's domain instead of deadlocking.
+    - The first exception raised by any item is re-raised on the caller's
+      domain after all in-flight items finish; remaining unstarted items
+      are skipped. *)
+
+type t
+
+val create : int -> t
+(** [create k] builds a pool of [k] domains total ([k - 1] spawned
+    workers).  @raise Invalid_argument if [k < 1]. *)
+
+val size : t -> int
+(** Total domains the pool uses, including the caller's. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must be idle; after shutdown,
+    [map_array] on it runs sequentially.  Idempotent. *)
+
+val default_size : unit -> int
+(** The [BUFSIZE_NUM_DOMAINS] environment override when set (must be a
+    positive integer), otherwise [Domain.recommended_domain_count ()]. *)
+
+val default : unit -> t
+(** The lazily created process-wide pool of [default_size ()] domains.
+    Library entry points ({!Bufsize_soc.Sizing.run},
+    {!Bufsize_sim.Replicate.run}) use it when no explicit pool is given. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] is [Array.map f a] with the items evaluated on the
+    pool's domains (the [default] pool when none is supplied).  Result
+    ordering is that of the input array regardless of execution order.
+    [f] must be safe to run concurrently with itself on distinct items. *)
+
+val mapi_array : ?pool:t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Indexed variant of {!map_array}. *)

@@ -27,6 +27,7 @@ type tableau = {
   width : int;
   t : float array;  (* (m + 1) * width *)
   basis : int array;  (* length m *)
+  nz : int array;  (* scratch: nonzero column indices of the pivot row *)
 }
 
 let tget tab i j = Array.unsafe_get tab.t ((i * tab.width) + j)
@@ -42,7 +43,9 @@ let build_tableau std =
   let m = std.nrows and n = std.ncols in
   let width = n + m + 1 in
   let t = Array.make ((m + 1) * width) 0. in
-  let tab = { m; n; width; t; basis = Array.init m (fun i -> n + i) } in
+  let tab =
+    { m; n; width; t; basis = Array.init m (fun i -> n + i); nz = Array.make width 0 }
+  in
   for i = 0 to m - 1 do
     let flip = if std.b.(i) < 0. then -1. else 1. in
     for j = 0 to n - 1 do
@@ -54,21 +57,34 @@ let build_tableau std =
   tab
 
 (* Pivot on (row, col): normalize the pivot row and eliminate the column from
-   every other row including the cost row. *)
+   every other row including the cost row.  The elimination only visits the
+   pivot row's nonzero columns (their indices are gathered into the [nz]
+   scratch during normalization) and skips rows with a zero factor —
+   subtracting [factor *. 0.] is an identity, and on the sparse early
+   tableaus of the occupation-measure LPs most entries are exactly zero, so
+   the skipped work dominates. *)
 let pivot tab row col =
-  let { width; t; _ } = tab in
+  let { width; t; nz; _ } = tab in
   let pbase = row * width in
   let pval = Array.unsafe_get t (pbase + col) in
   let inv = 1. /. pval in
+  let nnz = ref 0 in
   for j = 0 to width - 1 do
-    Array.unsafe_set t (pbase + j) (Array.unsafe_get t (pbase + j) *. inv)
+    let v = Array.unsafe_get t (pbase + j) in
+    if v <> 0. then begin
+      Array.unsafe_set t (pbase + j) (v *. inv);
+      Array.unsafe_set nz !nnz j;
+      incr nnz
+    end
   done;
+  let nnz = !nnz in
   for i = 0 to tab.m do
     if i <> row then begin
       let base = i * width in
       let factor = Array.unsafe_get t (base + col) in
       if factor <> 0. then
-        for j = 0 to width - 1 do
+        for k = 0 to nnz - 1 do
+          let j = Array.unsafe_get nz k in
           Array.unsafe_set t (base + j)
             (Array.unsafe_get t (base + j) -. (factor *. Array.unsafe_get t (pbase + j)))
         done
@@ -76,25 +92,140 @@ let pivot tab row col =
   done;
   tab.basis.(row) <- col
 
-(* Entering column: most negative reduced cost (Dantzig) or first negative
-   (Bland).  [allow] filters out artificial columns during phase 2. *)
-let entering tab ~eps ~bland ~allow =
+(* Entering column.  Bland mode scans for the first negative reduced cost
+   from column 0 (the anti-cycling rule needs that fixed order).  The
+   normal mode has two pricing strategies:
+
+   - [Dantzig] (default): full scan over all n + m reduced costs, enter on
+     the most negative.
+   - [Partial]: rotating-window partial pricing.  A refill scans columns
+     from a rotating cursor, wrapping, and collects up to
+     [max_candidates] columns with negative reduced cost, stopping early
+     once the window is full; the iterations in between price only that
+     list (re-reading each candidate's CURRENT reduced cost from the
+     tableau) and enter on the most negative among them.  When the list
+     yields nothing, the refill resumes at the cursor — and only a refill
+     that wraps the entire column range without finding a negative
+     reduced cost declares optimality, so termination rests on a full
+     scan exactly as with Dantzig.
+
+   Partial pricing is the textbook remedy when pricing dominates, but
+   measurement on this repo's occupation-measure LPs shows the opposite
+   regime: once [pivot] exploits row sparsity, the full scan is cheap,
+   and lower-quality entering picks inflate the pivot count — and the
+   pivots are the expensive step.  A keep-the-K-most-negative variant
+   already doubled the pivots (1870 -> 3614 across the Table 1 sizing
+   workload, ~2x wall clock); the rotating first-found window is several
+   times slower again, even on the widest joint LP we build (2176
+   columns).  Dantzig is therefore the default at every width; set
+   BUFSIZE_SIMPLEX_PRICING=partial to force the rotating window (for
+   problem classes wide enough that scanning dominates again), or
+   =dantzig to pin the default explicitly. *)
+type pricing_mode = Dantzig | Partial
+
+let pricing_mode_of_env () =
+  match Sys.getenv_opt "BUFSIZE_SIMPLEX_PRICING" with
+  | Some "partial" -> Partial
+  | Some "dantzig" | None -> Dantzig
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf
+           "BUFSIZE_SIMPLEX_PRICING: expected \"dantzig\" or \"partial\", got %S" other)
+
+type pricing = {
+  mode : pricing_mode;
+  cand : int array;
+  mutable ncand : int;
+  mutable cursor : int;  (* column the next rotating refill starts from *)
+}
+
+let max_candidates = 24
+
+let new_pricing () =
+  { mode = pricing_mode_of_env (); cand = Array.make max_candidates 0; ncand = 0; cursor = 0 }
+
+(* Rotating refill: scan from the cursor, wrapping once around all n + m
+   columns, collecting allowed columns with reduced cost < -eps; stop as
+   soon as the window is full.  Leaves [pr.ncand = 0] only after a
+   complete wrap found nothing — a full-scan certificate of optimality. *)
+let refill_candidates tab ~eps ~allow pr =
   let cost_row = tab.m in
-  let best = ref (-1) in
-  let best_val = ref (-.eps) in
-  (try
-     for j = 0 to tab.n + tab.m - 1 do
-       if allow j then begin
-         let r = tget tab cost_row j in
-         if r < !best_val then begin
+  let total = tab.n + tab.m in
+  pr.ncand <- 0;
+  let scanned = ref 0 in
+  let j = ref (if pr.cursor < total then pr.cursor else 0) in
+  while !scanned < total && pr.ncand < max_candidates do
+    (if allow !j && tget tab cost_row !j < -.eps then begin
+       pr.cand.(pr.ncand) <- !j;
+       pr.ncand <- pr.ncand + 1
+     end);
+    incr scanned;
+    j := !j + 1;
+    if !j >= total then j := 0
+  done;
+  pr.cursor <- !j
+
+let entering tab ~eps ~bland ~allow ~pricing:pr =
+  let cost_row = tab.m in
+  let total = tab.n + tab.m in
+  if bland then begin
+    let best = ref (-1) in
+    (try
+       for j = 0 to total - 1 do
+         if allow j && tget tab cost_row j < -.eps then begin
            best := j;
-           best_val := r;
-           if bland then raise Exit
+           raise Exit
          end
-       end
-     done
-   with Exit -> ());
-  !best
+       done
+     with Exit -> ());
+    !best
+  end
+  else
+    match pr.mode with
+    | Dantzig ->
+        let best = ref (-1) in
+        let best_val = ref (-.eps) in
+        for j = 0 to total - 1 do
+          if allow j then begin
+            let r = tget tab cost_row j in
+            if r < !best_val then begin
+              best := j;
+              best_val := r
+            end
+          end
+        done;
+        !best
+    | Partial ->
+        let pick () =
+          (* Most negative CURRENT reduced cost among the candidates;
+             stale entries (risen above -eps since the refill) are
+             skipped. *)
+          let best = ref (-1) and best_k = ref (-1) in
+          let best_val = ref (-.eps) in
+          for k = 0 to pr.ncand - 1 do
+            let r = tget tab cost_row pr.cand.(k) in
+            if r < !best_val then begin
+              best := pr.cand.(k);
+              best_val := r;
+              best_k := k
+            end
+          done;
+          (!best, !best_k)
+        in
+        let best, best_k =
+          match pick () with
+          | -1, _ ->
+              refill_candidates tab ~eps ~allow pr;
+              pick ()
+          | found -> found
+        in
+        if best >= 0 then begin
+          (* The chosen column becomes basic (reduced cost 0) — drop it. *)
+          pr.cand.(best_k) <- pr.cand.(pr.ncand - 1);
+          pr.ncand <- pr.ncand - 1;
+          best
+        end
+        else -1
 
 (* Ratio test: row minimizing b_i / a_ij over a_ij > eps; ties broken on the
    smallest basic-variable index (part of Bland's anti-cycling guarantee).
@@ -143,6 +274,7 @@ let leaving tab ~eps col =
 type phase_outcome = Phase_optimal | Phase_unbounded | Phase_iterations
 
 let run_phase tab ~eps ~max_iter ~bland_after ~refactor_every ~refactor ~allow iterations =
+  let pricing = new_pricing () in
   let rec loop iters since_refactor =
     if iters >= max_iter then (Phase_iterations, iters)
     else begin
@@ -154,7 +286,7 @@ let run_phase tab ~eps ~max_iter ~bland_after ~refactor_every ~refactor ~allow i
         else since_refactor
       in
       let bland = iters >= bland_after in
-      let col = entering tab ~eps ~bland ~allow in
+      let col = entering tab ~eps ~bland ~allow ~pricing in
       if col < 0 then (Phase_optimal, iters)
       else begin
         let row = leaving tab ~eps col in

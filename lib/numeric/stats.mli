@@ -29,6 +29,16 @@ val max_value : t -> float
 
 val of_list : float list -> t
 
+val copy : t -> t
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to observing [a]'s
+    sample followed by [b]'s (Chan et al. pairwise combination of Welford
+    states — count and extrema exact, mean and variance up to roundoff).
+    Neither argument is mutated.  This is the join step for statistics
+    accumulated on separate domains of a {!Bufsize_pool.Pool}-style
+    parallel run. *)
+
 val t_quantile : df:int -> float
 (** Two-sided 95% Student-t critical value for [df] degrees of freedom
     (tabulated, interpolated, asymptote 1.96). *)

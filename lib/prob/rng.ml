@@ -9,6 +9,20 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* Per-replication seed: hash the (seed, index) pair through two rounds of
+   the splitmix64 finalizer, mixing the index in between with an odd
+   multiplier.  Unlike the old [seed + 1000 * i] scheme — which collides
+   whenever two user seeds are less than [1000 * replications] apart — any
+   collision here requires a full 63-bit birthday coincidence. *)
+let derive_seed seed index =
+  let state = ref (Int64.of_int seed) in
+  let (_ : int64) = splitmix64 state in
+  state := Int64.logxor !state (Int64.mul (Int64.of_int index) 0xD1342543DE82EF95L);
+  let z = splitmix64 state in
+  (* keep 62 bits so the result is a nonnegative native int (OCaml ints
+     are 63-bit signed) *)
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let create seed =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix64 state in

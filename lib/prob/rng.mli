@@ -11,6 +11,13 @@ type t
 val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed via splitmix64. *)
 
+val derive_seed : int -> int -> int
+(** [derive_seed seed index] hashes the pair to a nonnegative 63-bit seed
+    for stream [index] of a replicated experiment (splitmix64 finalizer,
+    twice).  Distinct [(seed, index)] pairs map to distinct seeds up to
+    birthday collisions in 63 bits — unlike additive schemes such as
+    [seed + 1000 * index], which collide for nearby user seeds. *)
+
 val split : t -> t
 (** A new generator whose stream is independent of the parent's
     (the parent advances). *)

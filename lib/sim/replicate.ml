@@ -1,4 +1,6 @@
 module Stats = Bufsize_numeric.Stats
+module Rng = Bufsize_prob.Rng
+module Pool = Bufsize_pool.Pool
 
 type aggregate = {
   replications : int;
@@ -11,39 +13,70 @@ type aggregate = {
   mean_sojourn : Stats.t;
 }
 
-let run ?(replications = 10) spec =
+let empty nprocs replications =
+  {
+    replications;
+    per_proc_lost = Array.init nprocs (fun _ -> Stats.create ());
+    per_proc_offered = Array.init nprocs (fun _ -> Stats.create ());
+    per_proc_latency = Array.init nprocs (fun _ -> Stats.create ());
+    total_lost = Stats.create ();
+    total_offered = Stats.create ();
+    loss_fraction = Stats.create ();
+    mean_sojourn = Stats.create ();
+  }
+
+let accumulate agg (report : Metrics.report) =
+  Array.iteri
+    (fun p (s : Metrics.proc_stats) ->
+      Stats.add agg.per_proc_lost.(p) (float_of_int s.Metrics.lost);
+      Stats.add agg.per_proc_offered.(p) (float_of_int s.Metrics.offered);
+      if Float.is_finite s.Metrics.mean_latency then
+        Stats.add agg.per_proc_latency.(p) s.Metrics.mean_latency)
+    report.Metrics.per_proc;
+  Stats.add agg.total_lost (float_of_int (Metrics.total_lost report));
+  Stats.add agg.total_offered (float_of_int (Metrics.total_offered report));
+  Stats.add agg.loss_fraction (Metrics.loss_fraction report);
+  let sj = Metrics.mean_buffer_sojourn report in
+  if Float.is_finite sj then Stats.add agg.mean_sojourn sj
+
+let run ?(replications = 10) ?pool spec =
   if replications <= 0 then invalid_arg "Replicate.run: need at least one replication";
   let nprocs =
     Bufsize_soc.Topology.num_processors (Bufsize_soc.Traffic.topology spec.Sim_run.traffic)
   in
-  let agg =
-    {
-      replications;
-      per_proc_lost = Array.init nprocs (fun _ -> Stats.create ());
-      per_proc_offered = Array.init nprocs (fun _ -> Stats.create ());
-      per_proc_latency = Array.init nprocs (fun _ -> Stats.create ());
-      total_lost = Stats.create ();
-      total_offered = Stats.create ();
-      loss_fraction = Stats.create ();
-      mean_sojourn = Stats.create ();
-    }
+  (* Each replication builds its RNG from a hashed (seed, index) pair
+     inside [Sim_run.run] — a fully isolated stream per item, so the map
+     is embarrassingly parallel.  The pool preserves input ordering, and
+     the reports are folded into the accumulators in replication order on
+     the caller's domain, so every aggregate is bitwise identical whatever
+     the pool size. *)
+  let reports =
+    Pool.map_array ?pool
+      (fun i -> Sim_run.run { spec with Sim_run.seed = Rng.derive_seed spec.Sim_run.seed i })
+      (Array.init replications Fun.id)
   in
-  for i = 0 to replications - 1 do
-    let report = Sim_run.run { spec with Sim_run.seed = spec.Sim_run.seed + (1000 * i) } in
-    Array.iteri
-      (fun p (s : Metrics.proc_stats) ->
-        Stats.add agg.per_proc_lost.(p) (float_of_int s.Metrics.lost);
-        Stats.add agg.per_proc_offered.(p) (float_of_int s.Metrics.offered);
-        if Float.is_finite s.Metrics.mean_latency then
-          Stats.add agg.per_proc_latency.(p) s.Metrics.mean_latency)
-      report.Metrics.per_proc;
-    Stats.add agg.total_lost (float_of_int (Metrics.total_lost report));
-    Stats.add agg.total_offered (float_of_int (Metrics.total_offered report));
-    Stats.add agg.loss_fraction (Metrics.loss_fraction report);
-    let sj = Metrics.mean_buffer_sojourn report in
-    if Float.is_finite sj then Stats.add agg.mean_sojourn sj
-  done;
+  let agg = empty nprocs replications in
+  Array.iter (accumulate agg) reports;
   agg
+
+(* Combine aggregates of DISJOINT replication sets (e.g. shards of a sweep
+   run on different pools or hosts) via the pairwise Welford merge. *)
+let merge a b =
+  let np = Array.length a.per_proc_lost in
+  if np <> Array.length b.per_proc_lost then
+    invalid_arg "Replicate.merge: aggregates cover different topologies";
+  {
+    replications = a.replications + b.replications;
+    per_proc_lost = Array.init np (fun p -> Stats.merge a.per_proc_lost.(p) b.per_proc_lost.(p));
+    per_proc_offered =
+      Array.init np (fun p -> Stats.merge a.per_proc_offered.(p) b.per_proc_offered.(p));
+    per_proc_latency =
+      Array.init np (fun p -> Stats.merge a.per_proc_latency.(p) b.per_proc_latency.(p));
+    total_lost = Stats.merge a.total_lost b.total_lost;
+    total_offered = Stats.merge a.total_offered b.total_offered;
+    loss_fraction = Stats.merge a.loss_fraction b.loss_fraction;
+    mean_sojourn = Stats.merge a.mean_sojourn b.mean_sojourn;
+  }
 
 let mean_per_proc_lost agg = Array.map Stats.mean agg.per_proc_lost
 

@@ -20,8 +20,23 @@ type aggregate = {
       (** mean buffer sojourn per replication (timeout calibration) *)
 }
 
-val run : ?replications:int -> Sim_run.spec -> aggregate
-(** Default 10 replications; replication [i] uses seed [spec.seed + 1000 * i]. *)
+val run : ?replications:int -> ?pool:Bufsize_pool.Pool.t -> Sim_run.spec -> aggregate
+(** Default 10 replications; replication [i] uses seed
+    [Rng.derive_seed spec.seed i] — a splitmix-style hash of the pair, so
+    nearby user seeds cannot alias each other's replication streams (the
+    old additive [seed + 1000 * i] scheme collided for seeds less than
+    [1000 * replications] apart).
+
+    Replications are independent simulations and run on [pool] (default:
+    the process-wide {!Bufsize_pool.Pool}, sized by [BUFSIZE_NUM_DOMAINS]).
+    Reports are folded into the accumulators in replication order on the
+    caller's domain, so the aggregate is bitwise identical for every pool
+    size. *)
+
+val merge : aggregate -> aggregate -> aggregate
+(** Combine aggregates of disjoint replication sets (shards of a sweep)
+    with {!Bufsize_numeric.Stats.merge}.  @raise Invalid_argument when the
+    per-processor arrays differ in length. *)
 
 val mean_per_proc_lost : aggregate -> float array
 

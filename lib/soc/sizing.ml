@@ -1,6 +1,7 @@
 module Lp = Bufsize_numeric.Lp
 module Lp_formulation = Bufsize_mdp.Lp_formulation
 module Kswitching = Bufsize_mdp.Kswitching
+module Pool = Bufsize_pool.Pool
 
 type solver = Joint | Separate
 
@@ -80,7 +81,7 @@ let requirements_for model ~words_per_level ~quantile occupancy =
          (sub.Splitting.bus, c.Bus_model.client, demand))
        loaded)
 
-let solve_subsystems config models =
+let solve_subsystems ?pool config models =
   let total_levels =
     Array.fold_left (fun acc m -> acc + Bus_model.total_levels m) 0 models
   in
@@ -89,7 +90,8 @@ let solve_subsystems config models =
   let bound_levels =
     config.occupancy_fraction *. float_of_int config.budget /. words_per_level
   in
-  let ctmdps = Array.map Bus_model.ctmdp models in
+  (* Per-subsystem CTMDP construction is independent — build on the pool. *)
+  let ctmdps = Pool.map_array ?pool Bus_model.ctmdp models in
   match config.solver with
   | Joint -> (
       let attempt bounds =
@@ -112,24 +114,26 @@ let solve_subsystems config models =
             bound_levels *. float_of_int (Bus_model.total_levels m) /. float_of_int total_levels)
           models
       in
-      let active = ref true in
-      let solutions =
-        Array.mapi
-          (fun i m ->
-            let bounds = [| { Lp_formulation.sense = Lp.Le; value = shares.(i) } |] in
-            match Lp_formulation.solve ~extra_bounds:bounds m with
-            | Lp_formulation.Optimal s -> s
-            | Lp_formulation.Infeasible | Lp_formulation.Unbounded -> (
-                active := false;
-                match Lp_formulation.solve m with
-                | Lp_formulation.Optimal s -> s
-                | _ -> failwith "Sizing.run: subsystem LP failed"))
-          ctmdps
+      (* Each subsystem LP is independent (that is the paper's point), so
+         solve them on the pool.  The solver returns (solution, bound kept)
+         pairs instead of flipping a shared flag — no mutable state crosses
+         domains, and the same code path serves the sequential fallback. *)
+      let solve_one i m =
+        let bounds = [| { Lp_formulation.sense = Lp.Le; value = shares.(i) } |] in
+        match Lp_formulation.solve ~extra_bounds:bounds m with
+        | Lp_formulation.Optimal s -> (s, true)
+        | Lp_formulation.Infeasible | Lp_formulation.Unbounded -> (
+            match Lp_formulation.solve m with
+            | Lp_formulation.Optimal s -> (s, false)
+            | _ -> failwith "Sizing.run: subsystem LP failed")
       in
+      let solved = Pool.mapi_array ?pool solve_one ctmdps in
+      let solutions = Array.map fst solved in
+      let active = Array.for_all snd solved in
       let gain = Array.fold_left (fun acc s -> acc +. s.Lp_formulation.gain) 0. solutions in
-      (solutions, gain, !active, words_per_level)
+      (solutions, gain, active, words_per_level)
 
-let run ?measured_rates config traffic =
+let run ?measured_rates ?pool config traffic =
   if config.budget <= 0 then invalid_arg "Sizing.run: budget must be positive";
   if config.occupancy_fraction <= 0. || config.occupancy_fraction > 1. then
     invalid_arg "Sizing.run: occupancy_fraction must be in (0, 1]";
@@ -154,15 +158,15 @@ let run ?measured_rates config traffic =
         { s with Splitting.clients }
   in
   let models =
-    Array.map
+    Pool.map_array ?pool
       (fun s ->
         Bus_model.build ~weights:config.client_weight ~max_states:config.max_states
           (apply_profile s))
       split.Splitting.subsystems
   in
-  let solved, total_gain, bound_active, words_per_level = solve_subsystems config models in
+  let solved, total_gain, bound_active, words_per_level = solve_subsystems ?pool config models in
   let solutions =
-    Array.mapi
+    Pool.mapi_array ?pool
       (fun i model ->
         let s = solved.(i) in
         let occupancy = Bus_model.occupancy_distribution model s.Lp_formulation.policy in

@@ -62,10 +62,19 @@ type result = {
 
 val run :
   ?measured_rates:(Topology.bus_id -> Traffic.client -> float option) ->
+  ?pool:Bufsize_pool.Pool.t ->
   config ->
   Traffic.t ->
   result
-(** [measured_rates] optionally overrides the analytically routed client
+(** [pool] runs the independent per-subsystem stages — CTMDP model
+    construction, occupancy/K-switching post-processing, and (under
+    [Separate]) the per-subsystem LP solves — on a {!Bufsize_pool.Pool}
+    (default: the process-wide pool, sized by [BUFSIZE_NUM_DOMAINS]).  The [Joint]
+    block LP itself stays sequential: its subsystems are coupled by the
+    shared occupancy constraint, so there is nothing independent to fan
+    out at the solver level.  Results are identical for every pool size.
+
+    [measured_rates] optionally overrides the analytically routed client
     arrival rates with profiled ones (e.g. per-buffer arrival counts from a
     simulation of the previous allocation — the paper's "better profiling"
     suggestion; see [Bufsize.profiled_sizing]).  [None] keeps the routed
