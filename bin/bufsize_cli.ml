@@ -5,6 +5,7 @@
      size        run the CTMDP buffer sizing and print the allocation
      simulate    simulate one allocation policy and print loss statistics
      experiment  the paper's before/after/timeout comparison
+     verify      differential oracles over random instances (fuzz harness)
 
    Architectures: fig1 (the paper's sample), netproc (the 17-processor
    evaluation platform), small (a fast two-bus demo). *)
@@ -216,6 +217,70 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(const run $ arch_arg $ file_arg $ annotate_arg $ max_states_arg)
 
+(* --------------------------------------------------------------- verify *)
+
+let verify_cmd =
+  let count_arg =
+    let doc = "Random instances per oracle." in
+    Arg.(value & opt int 25 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Run only this oracle (repeatable). Available: simplex-cross, mdp-gain, sim-analytic, \
+       sizing-bounds, split-monolithic. Default: all."
+    in
+    Arg.(value & opt_all string [] & info [ "o"; "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let out_dir_arg =
+    let doc = "Write minimized failing repros into this directory." in
+    Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  let list_arg =
+    let doc = "List the oracles and exit." in
+    Arg.(value & flag & info [ "list-oracles" ] ~doc)
+  in
+  let verify_max_states_arg =
+    let doc = "Cap on generated model sizes (states per CTMDP, sizing levels)." in
+    Arg.(value & opt int 48 & info [ "max-states" ] ~docv:"N" ~doc)
+  in
+  let run seed count oracle_names out_dir max_states list =
+    let module V = B.Verify in
+    if list then
+      List.iter
+        (fun (o : V.Oracle.t) -> Format.printf "%-16s %s@." o.V.Oracle.name o.V.Oracle.doc)
+        V.Oracles.all
+    else begin
+      let oracles =
+        match oracle_names with
+        | [] -> V.Oracles.all
+        | names ->
+            List.map
+              (fun n ->
+                match V.Oracles.find n with
+                | Some o -> o
+                | None ->
+                    Format.eprintf "error: unknown oracle %S (available: %s)@." n
+                      (String.concat ", " (V.Oracles.names ()));
+                    exit 1)
+              names
+      in
+      let summary =
+        V.Driver.run ~oracles ?out_dir ~max_states
+          ~progress:(fun line -> Format.printf "%s@." line)
+          ~seed ~count ()
+      in
+      Format.printf "%a@." V.Driver.pp_summary summary;
+      if not (V.Driver.passed summary) then exit 1
+    end
+  in
+  let doc =
+    "Cross-check the solvers against each other on random instances (differential oracles)."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ oracle_arg $ out_dir_arg $ verify_max_states_arg
+      $ list_arg)
+
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -248,4 +313,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "bufsize" ~version:"1.0.0" ~doc)
-          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; dot_cmd ]))
+          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; dot_cmd; verify_cmd ]))

@@ -13,7 +13,7 @@ type aggregate = {
   mean_sojourn : Stats.t;
 }
 
-let empty nprocs replications =
+let make_empty nprocs replications =
   {
     replications;
     per_proc_lost = Array.init nprocs (fun _ -> Stats.create ());
@@ -55,7 +55,7 @@ let run ?(replications = 10) ?pool spec =
       (fun i -> Sim_run.run { spec with Sim_run.seed = Rng.derive_seed spec.Sim_run.seed i })
       (Array.init replications Fun.id)
   in
-  let agg = empty nprocs replications in
+  let agg = make_empty nprocs replications in
   Array.iter (accumulate agg) reports;
   agg
 
@@ -77,6 +77,8 @@ let merge a b =
     loss_fraction = Stats.merge a.loss_fraction b.loss_fraction;
     mean_sojourn = Stats.merge a.mean_sojourn b.mean_sojourn;
   }
+
+let empty ~nprocs = make_empty nprocs 0
 
 let mean_per_proc_lost agg = Array.map Stats.mean agg.per_proc_lost
 

@@ -33,10 +33,19 @@ val run : ?replications:int -> ?pool:Bufsize_pool.Pool.t -> Sim_run.spec -> aggr
     caller's domain, so the aggregate is bitwise identical for every pool
     size. *)
 
+val empty : nprocs:int -> aggregate
+(** The identity of {!merge} for a [nprocs]-processor topology: zero
+    replications, all accumulators empty.  Useful as the fold seed when
+    combining shards of a sweep; merging it into an aggregate changes
+    nothing (counts, means, variances, and extrema all survive). *)
+
 val merge : aggregate -> aggregate -> aggregate
 (** Combine aggregates of disjoint replication sets (shards of a sweep)
-    with {!Bufsize_numeric.Stats.merge}.  @raise Invalid_argument when the
-    per-processor arrays differ in length. *)
+    with {!Bufsize_numeric.Stats.merge}.  Empty shards (e.g. {!empty} or
+    a slice of a sweep that produced no replications) are handled: the
+    other side's statistics pass through unchanged, no NaNs are
+    introduced.  @raise Invalid_argument when the per-processor arrays
+    differ in length. *)
 
 val mean_per_proc_lost : aggregate -> float array
 

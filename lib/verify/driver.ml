@@ -1,0 +1,118 @@
+module Rng = Bufsize_prob.Rng
+
+type failure = {
+  oracle : string;
+  instance : int;
+  seed : int;
+  message : string;
+  shrink_steps : int;
+  case : Oracle.case;
+  repro_path : string option;
+}
+
+type oracle_summary = {
+  name : string;
+  instances : int;
+  failures : failure list;
+}
+
+type summary = {
+  seed : int;
+  oracles : oracle_summary list;
+  total_instances : int;
+  total_failures : int;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_repro ~out_dir ~oracle ~instance ~seed ~message case =
+  mkdir_p out_dir;
+  let path = Filename.concat out_dir (Printf.sprintf "%s-%03d.repro" oracle instance) in
+  let oc = open_out path in
+  (* '#' heads every comment line, so architecture repros stay directly
+     loadable by Spec_parser.parse_file. *)
+  Printf.fprintf oc "# oracle: %s\n# instance: %d (derived seed %d)\n" oracle instance seed;
+  String.split_on_char '\n' message
+  |> List.iter (fun l -> Printf.fprintf oc "# failure: %s\n" l);
+  output_string oc case.Oracle.repro;
+  if String.length case.Oracle.repro > 0
+     && case.Oracle.repro.[String.length case.Oracle.repro - 1] <> '\n'
+  then output_char oc '\n';
+  close_out oc;
+  path
+
+let run_oracle ?out_dir ~max_states ~seed ~count (o : Oracle.t) =
+  (* Stream seeds are derived per oracle name, so adding or reordering
+     oracles never perturbs another oracle's instances. *)
+  let oracle_seed = Rng.derive_seed seed (Hashtbl.hash o.Oracle.name) in
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let instance_seed = Rng.derive_seed oracle_seed i in
+    let case = o.Oracle.generate ~max_states (Rng.create instance_seed) in
+    match Oracle.run_check case with
+    | Oracle.Pass -> ()
+    | Oracle.Fail msg ->
+        let case, message, shrink_steps = Shrink.minimize case msg in
+        let repro_path =
+          Option.map
+            (fun dir ->
+              write_repro ~out_dir:dir ~oracle:o.Oracle.name ~instance:i ~seed:instance_seed
+                ~message case)
+            out_dir
+        in
+        failures :=
+          {
+            oracle = o.Oracle.name;
+            instance = i;
+            seed = instance_seed;
+            message;
+            shrink_steps;
+            case;
+            repro_path;
+          }
+          :: !failures
+  done;
+  { name = o.Oracle.name; instances = count; failures = List.rev !failures }
+
+let run ?(oracles = Oracles.all) ?out_dir ?(max_states = 48) ?(progress = ignore) ~seed ~count
+    () =
+  let summaries =
+    List.map
+      (fun o ->
+        let s = run_oracle ?out_dir ~max_states ~seed ~count o in
+        progress
+          (Printf.sprintf "%-16s %d/%d passed" s.name (s.instances - List.length s.failures)
+             s.instances);
+        s)
+      oracles
+  in
+  {
+    seed;
+    oracles = summaries;
+    total_instances = List.fold_left (fun a s -> a + s.instances) 0 summaries;
+    total_failures = List.fold_left (fun a s -> a + List.length s.failures) 0 summaries;
+  }
+
+let passed s = s.total_failures = 0
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>verify: seed %d, %d instances across %d oracles@," s.seed
+    s.total_instances (List.length s.oracles);
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %-16s %4d/%d passed@," o.name
+        (o.instances - List.length o.failures)
+        o.instances;
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "    FAIL #%d (seed %d, %d shrink steps): %s@," f.instance f.seed
+            f.shrink_steps f.message;
+          Option.iter (fun p -> Format.fprintf ppf "      repro: %s@," p) f.repro_path)
+        o.failures)
+    s.oracles;
+  if s.total_failures = 0 then Format.fprintf ppf "all oracles passed@]"
+  else Format.fprintf ppf "%d failure(s)@]" s.total_failures

@@ -1,0 +1,52 @@
+(** Run the oracle matrix over seeded random instances.
+
+    The driver behind [bufsize verify] (and the [test_verify] suite):
+    draws [count] instances per oracle from independent derived RNG
+    streams, checks each, greedily shrinks every failure
+    ({!Shrink.minimize}) and optionally dumps the minimized repro to a
+    file in [out_dir]. *)
+
+type failure = {
+  oracle : string;
+  instance : int;  (** index within the oracle's run, 0-based *)
+  seed : int;  (** derived seed that regenerates the unshrunk instance *)
+  message : string;  (** failure message of the shrunk case *)
+  shrink_steps : int;
+  case : Oracle.case;  (** the shrunk case *)
+  repro_path : string option;  (** where the repro was written, if anywhere *)
+}
+
+type oracle_summary = {
+  name : string;
+  instances : int;
+  failures : failure list;  (** in discovery order *)
+}
+
+type summary = {
+  seed : int;
+  oracles : oracle_summary list;
+  total_instances : int;
+  total_failures : int;
+}
+
+val run :
+  ?oracles:Oracle.t list ->
+  ?out_dir:string ->
+  ?max_states:int ->
+  ?progress:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** [run ~seed ~count ()] checks [count] instances of every oracle (default
+    {!Oracles.all}).  Instance [i] of oracle [o] is generated from seed
+    [derive_seed (derive_seed seed (hash o.name)) i], so runs are
+    reproducible per oracle and independent of the oracle list order.
+    With [out_dir], each shrunk failing repro is written to
+    [<out_dir>/<oracle>-<instance>.repro] (the directory is created).
+    [max_states] (default 48) caps generated model sizes where relevant.
+    [progress] receives one line per oracle as it finishes. *)
+
+val passed : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,352 @@
+module Rng = Bufsize_prob.Rng
+module Topology = Bufsize_soc.Topology
+module Traffic = Bufsize_soc.Traffic
+module Spec_parser = Bufsize_soc.Spec_parser
+module Monolithic = Bufsize_soc.Monolithic
+module Ctmdp = Bufsize_mdp.Ctmdp
+module Lp = Bufsize_numeric.Lp
+
+(* Round to 3 decimals: keeps generated instances printable/re-parseable
+   without loss and avoids adversarially ill-conditioned coefficients. *)
+let round3 x = Float.round (x *. 1000.) /. 1000.
+
+let float_in rng lo hi = round3 (Rng.float_range rng lo hi)
+
+(* ------------------------------------------------------- architectures *)
+
+type arch_knobs = {
+  max_buses : int;
+  max_procs_per_bus : int;
+  max_extra_bridges : int;
+  max_flows_per_proc : int;
+  min_service : float;
+  max_service : float;
+  min_rate : float;
+  max_rate : float;
+  max_utilization : float;
+}
+
+let default_arch_knobs =
+  {
+    max_buses = 3;
+    max_procs_per_bus = 2;
+    max_extra_bridges = 1;
+    max_flows_per_proc = 2;
+    min_service = 1.0;
+    max_service = 6.0;
+    min_rate = 0.1;
+    max_rate = 2.0;
+    max_utilization = 0.9;
+  }
+
+let arch ?(knobs = default_arch_knobs) rng =
+  if knobs.max_buses < 1 || knobs.max_procs_per_bus < 1 then
+    invalid_arg "Gen_model.arch: degenerate knobs";
+  let nbuses = 1 + Rng.int rng knobs.max_buses in
+  let b = Topology.builder () in
+  let buses =
+    Array.init nbuses (fun i ->
+        Topology.add_bus b
+          ~service_rate:(float_in rng knobs.min_service knobs.max_service)
+          (Printf.sprintf "b%d" i))
+  in
+  (* A spanning tree keeps the bus graph connected; extra bridges add
+     alternative routes (and exercise the BFS tie-breaking). *)
+  let bridged = Hashtbl.create 8 in
+  let nbridges = ref 0 in
+  let add_bridge x y =
+    let key = (Int.min x y, Int.max x y) in
+    if x <> y && not (Hashtbl.mem bridged key) then begin
+      Hashtbl.add bridged key ();
+      ignore
+        (Topology.add_bridge b
+           ~between:(buses.(x), buses.(y))
+           (Printf.sprintf "br%d" !nbridges));
+      incr nbridges
+    end
+  in
+  for i = 1 to nbuses - 1 do
+    add_bridge (Rng.int rng i) i
+  done;
+  if nbuses >= 2 then
+    for _ = 1 to Rng.int rng (knobs.max_extra_bridges + 1) do
+      add_bridge (Rng.int rng nbuses) (Rng.int rng nbuses)
+    done;
+  let procs = ref [] in
+  let nprocs = ref 0 in
+  let add_proc bus =
+    procs := Topology.add_processor b ~bus:buses.(bus) (Printf.sprintf "p%d" !nprocs) :: !procs;
+    incr nprocs
+  in
+  for bus = 0 to nbuses - 1 do
+    for _ = 1 to 1 + Rng.int rng knobs.max_procs_per_bus do
+      add_proc bus
+    done
+  done;
+  (* Flows need two distinct endpoints. *)
+  if !nprocs < 2 then add_proc 0;
+  let procs = Array.of_list (List.rev !procs) in
+  let np = Array.length procs in
+  let flows = ref [] in
+  Array.iter
+    (fun src ->
+      (* Every processor emits at least one flow, so every bus that has
+         processors carries a loaded client (Bus_model.build requires one
+         per subsystem). *)
+      for _ = 1 to 1 + Rng.int rng knobs.max_flows_per_proc do
+        let dst = ref src in
+        while !dst = src do
+          dst := procs.(Rng.int rng np)
+        done;
+        flows :=
+          { Traffic.src; dst = !dst; rate = float_in rng knobs.min_rate knobs.max_rate }
+          :: !flows
+      done)
+    procs;
+  let topo = Topology.finalize b in
+  let traffic = Traffic.create topo (List.rev !flows) in
+  (* Rescale so the busiest bus stays below the utilization knob: heavily
+     overloaded subsystems make the sizing LPs uninformative. *)
+  let max_rho = ref 0. in
+  Array.iter
+    (fun (bus : Topology.bus) ->
+      max_rho := Float.max !max_rho (Traffic.bus_utilization traffic bus.Topology.bus_id))
+    (Topology.buses topo);
+  if !max_rho <= knobs.max_utilization then (topo, traffic)
+  else begin
+    let f = knobs.max_utilization /. !max_rho in
+    (* Round scaled rates DOWN so rounding never pushes a bus back above
+       the cap; only the 0.001 floor can, by a hair per tiny flow. *)
+    let scaled =
+      List.map
+        (fun (fl : Traffic.flow) ->
+          { fl with Traffic.rate = Float.max 0.001 (Float.of_int (int_of_float (fl.Traffic.rate *. f *. 1000.)) /. 1000.) })
+        (List.rev !flows)
+    in
+    (topo, Traffic.create topo scaled)
+  end
+
+let arch_text ?knobs rng =
+  let topo, traffic = arch ?knobs rng in
+  Spec_parser.to_string topo traffic
+
+(* --------------------------------------------------------------- CTMDPs *)
+
+type ctmdp_knobs = {
+  max_states : int;
+  max_actions : int;
+  max_fanout : int;
+  min_trans_rate : float;
+  max_trans_rate : float;
+  max_cost : float;
+  max_extra : float;
+}
+
+let default_ctmdp_knobs =
+  {
+    max_states = 6;
+    max_actions = 3;
+    max_fanout = 2;
+    min_trans_rate = 0.2;
+    max_trans_rate = 4.0;
+    max_cost = 5.0;
+    max_extra = 4.0;
+  }
+
+type ctmdp_case = {
+  num_states : int;
+  actions : (string * (int * float) list * float * float) list array;
+}
+
+let ctmdp_case ?(knobs = default_ctmdp_knobs) rng =
+  if knobs.max_states < 2 then invalid_arg "Gen_model.ctmdp_case: need >= 2 states";
+  let n = 2 + Rng.int rng (knobs.max_states - 1) in
+  let actions =
+    Array.init n (fun s ->
+        let na = 1 + Rng.int rng knobs.max_actions in
+        List.init na (fun a ->
+            (* Accumulate rates per target; the mandatory cycle edge
+               [s -> s+1 mod n] makes every deterministic policy's chain
+               irreducible, so policy iteration's evaluation system is
+               never singular. *)
+            let tbl = Hashtbl.create 4 in
+            let add t r =
+              Hashtbl.replace tbl t (r +. Option.value ~default:0. (Hashtbl.find_opt tbl t))
+            in
+            add ((s + 1) mod n) (float_in rng knobs.min_trans_rate knobs.max_trans_rate);
+            for _ = 1 to Rng.int rng (knobs.max_fanout + 1) do
+              let t = Rng.int rng n in
+              if t <> s then add t (float_in rng knobs.min_trans_rate knobs.max_trans_rate)
+            done;
+            let transitions =
+              Hashtbl.fold (fun t r acc -> (t, r) :: acc) tbl []
+              |> List.sort (fun (a, _) (b, _) -> compare a b)
+            in
+            ( Printf.sprintf "a%d" a,
+              transitions,
+              float_in rng 0. knobs.max_cost,
+              float_in rng 0. knobs.max_extra )))
+  in
+  { num_states = n; actions }
+
+let ctmdp_of_case c =
+  Ctmdp.create ~num_extras:1
+    (Array.map
+       (fun acts ->
+         Array.of_list
+           (List.map
+              (fun (label, transitions, cost, extra) ->
+                { Ctmdp.label; transitions; cost; extras = [| extra |] })
+              acts))
+       c.actions)
+
+let ctmdp_case_to_string c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "ctmdp states %d extras 1\n" c.num_states);
+  Array.iteri
+    (fun s acts ->
+      List.iter
+        (fun (label, transitions, cost, extra) ->
+          Buffer.add_string buf
+            (Printf.sprintf "state %d action %s cost %g extra %g :%s\n" s label cost extra
+               (String.concat ""
+                  (List.map (fun (t, r) -> Printf.sprintf " ->%d@%g" t r) transitions))))
+        acts)
+    c.actions;
+  Buffer.contents buf
+
+let ctmdp ?knobs rng = ctmdp_of_case (ctmdp_case ?knobs rng)
+
+(* ------------------------------------------------------ linear programs *)
+
+type lp_knobs = {
+  max_vars : int;
+  max_rows : int;
+  max_terms : int;
+  free_var_freq : int;
+  max_coeff : float;
+}
+
+let default_lp_knobs =
+  { max_vars = 5; max_rows = 4; max_terms = 3; free_var_freq = 6; max_coeff = 3.0 }
+
+type lp_case = {
+  maximize : bool;
+  lbs : float array;
+  obj : float array;
+  rows : ((int * float) list * Lp.sense * float) list;
+}
+
+let lp_case ?(knobs = default_lp_knobs) rng =
+  let n = 1 + Rng.int rng knobs.max_vars in
+  let lbs =
+    Array.init n (fun _ ->
+        if knobs.free_var_freq > 0 && Rng.int rng knobs.free_var_freq = 0 then neg_infinity
+        else if Rng.int rng 4 = 0 then float_in rng (-2.) 2.
+        else 0.)
+  in
+  let obj = Array.init n (fun _ -> float_in rng (-.knobs.max_coeff) knobs.max_coeff) in
+  (* One box row per variable keeps most instances bounded; extra rows mix
+     senses and signs, so infeasible (and occasionally unbounded, via free
+     variables) classifications are exercised too. *)
+  let box =
+    List.init n (fun j -> ([ (j, 1.) ], Lp.Le, float_in rng 1. 10.))
+  in
+  let nrows = Rng.int rng (knobs.max_rows + 1) in
+  let extra =
+    List.init nrows (fun _ ->
+        let nterms = 1 + Rng.int rng knobs.max_terms in
+        let tbl = Hashtbl.create 4 in
+        for _ = 1 to nterms do
+          let j = Rng.int rng n in
+          let c = float_in rng (-.knobs.max_coeff) knobs.max_coeff in
+          if c <> 0. then
+            Hashtbl.replace tbl j (c +. Option.value ~default:0. (Hashtbl.find_opt tbl j))
+        done;
+        let terms =
+          Hashtbl.fold (fun j c acc -> (j, c) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let sense =
+          match Rng.int rng 5 with 0 -> Lp.Eq | 1 | 2 -> Lp.Ge | _ -> Lp.Le
+        in
+        let rhs =
+          (* Bias right-hand sides toward feasibility (Le rows nonnegative,
+             Ge rows small) so most instances are Optimal. *)
+          match sense with
+          | Lp.Le -> float_in rng 0. 8.
+          | Lp.Ge -> float_in rng (-4.) 2.
+          | Lp.Eq -> float_in rng (-1.) 3.
+        in
+        (terms, sense, rhs))
+  in
+  { maximize = Rng.bool rng; lbs; obj; rows = box @ extra }
+
+let lp_of_case c =
+  let m = Lp.create (if c.maximize then Lp.Maximize else Lp.Minimize) in
+  let vars =
+    Array.mapi (fun j lb -> Lp.add_var ~name:(Printf.sprintf "x%d" j) ~lb m) c.lbs
+  in
+  Lp.set_objective m (Array.to_list (Array.mapi (fun j cj -> (cj, vars.(j))) c.obj));
+  List.iter
+    (fun (terms, sense, rhs) ->
+      match terms with
+      | [] -> ()
+      | _ -> Lp.add_constraint m (List.map (fun (j, cf) -> (cf, vars.(j))) terms) sense rhs)
+    c.rows;
+  m
+
+let lp_case_to_string c =
+  let buf = Buffer.create 256 in
+  let n = Array.length c.obj in
+  Buffer.add_string buf
+    (Printf.sprintf "lp %s vars %d\n" (if c.maximize then "maximize" else "minimize") n);
+  Buffer.add_string buf "objective:";
+  Array.iteri (fun j cj -> Buffer.add_string buf (Printf.sprintf " %+g x%d" cj j)) c.obj;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun j lb ->
+      if lb <> 0. then
+        Buffer.add_string buf
+          (if lb = neg_infinity then Printf.sprintf "x%d free\n" j
+           else Printf.sprintf "x%d >= %g\n" j lb))
+    c.lbs;
+  List.iter
+    (fun (terms, sense, rhs) ->
+      Buffer.add_string buf "row:";
+      List.iter (fun (j, cf) -> Buffer.add_string buf (Printf.sprintf " %+g x%d" cf j)) terms;
+      let s = match sense with Lp.Le -> "<=" | Lp.Eq -> "=" | Lp.Ge -> ">=" in
+      Buffer.add_string buf (Printf.sprintf " %s %g\n" s rhs))
+    c.rows;
+  Buffer.contents buf
+
+(* --------------------------------------------------- queues and bridges *)
+
+type mm1k_case = { lambda : float; mu : float; k : int; sim_seed : int }
+
+let mm1k_case rng =
+  let mu = float_in rng 0.5 4.0 in
+  let rho = Rng.float_range rng 0.2 1.2 in
+  let lambda = Float.max 0.05 (round3 (rho *. mu)) in
+  { lambda; mu; k = 1 + Rng.int rng 8; sim_seed = 1 + Rng.int rng 1_000_000 }
+
+let monolithic_spec rng =
+  let mu_x = float_in rng 1.0 4.0 and mu_y = float_in rng 1.0 4.0 in
+  let lambda_x = Float.max 0.05 (round3 (Rng.float_range rng 0.15 0.85 *. mu_x)) in
+  let lambda_y = Float.max 0.05 (round3 (Rng.float_range rng 0.15 0.85 *. mu_y)) in
+  let cross_fraction = if Rng.int rng 4 = 0 then 0. else float_in rng 0. 0.25 in
+  {
+    Monolithic.kx = 1 + Rng.int rng 4;
+    ky = 1 + Rng.int rng 4;
+    lambda_x;
+    lambda_y;
+    cross_fraction;
+    mu_x;
+    mu_y;
+  }
+
+let monolithic_to_string (s : Monolithic.spec) =
+  Printf.sprintf
+    "monolithic kx %d ky %d lambda_x %g lambda_y %g cross_fraction %g mu_x %g mu_y %g\n"
+    s.Monolithic.kx s.Monolithic.ky s.Monolithic.lambda_x s.Monolithic.lambda_y
+    s.Monolithic.cross_fraction s.Monolithic.mu_x s.Monolithic.mu_y

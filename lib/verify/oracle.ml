@@ -1,0 +1,25 @@
+type verdict = Pass | Fail of string
+
+type case = {
+  label : string;
+  repro : string;
+  check : unit -> verdict;
+  shrink : unit -> case list;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  generate : max_states:int -> Bufsize_prob.Rng.t -> case;
+}
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let rec all_of = function
+  | [] -> Pass
+  | f :: rest -> ( match f () with Pass -> all_of rest | Fail _ as v -> v)
+
+let run_check case =
+  match case.check () with
+  | v -> v
+  | exception e -> failf "uncaught exception: %s" (Printexc.to_string e)

@@ -1,0 +1,36 @@
+(** Oracle plumbing: a differential check packaged with its own shrink
+    candidates and repro rendering.
+
+    An oracle generates a {e case} — a concrete model instance with a
+    [check] that cross-validates two or more independent solution routes,
+    a [shrink] producing structurally smaller candidate cases, and a
+    [repro] string suitable for dumping to disk (Spec_parser format for
+    SoC cases, a plain-text dump otherwise).  The closures carry the case
+    data, so the driver and the shrinker stay fully generic. *)
+
+type verdict = Pass | Fail of string
+
+type case = {
+  label : string;  (** one-line description for summaries *)
+  repro : string;  (** repro artifact contents *)
+  check : unit -> verdict;
+  shrink : unit -> case list;  (** smaller candidates, most aggressive first *)
+}
+
+type t = {
+  name : string;  (** CLI identifier, kebab-case *)
+  doc : string;  (** one-line description of the cross-check *)
+  generate : max_states:int -> Bufsize_prob.Rng.t -> case;
+      (** [max_states] caps CTMDP state spaces where applicable *)
+}
+
+val failf : ('a, unit, string, verdict) format4 -> 'a
+(** [failf fmt ...] is [Fail (sprintf fmt ...)]. *)
+
+val all_of : (unit -> verdict) list -> verdict
+(** First failure wins; [Pass] when every thunk passes. *)
+
+val run_check : case -> verdict
+(** [case.check ()] with uncaught exceptions converted to [Fail] — a
+    solver crash on a generated instance is a finding, not a harness
+    error. *)

@@ -1,0 +1,656 @@
+module Rng = Bufsize_prob.Rng
+module Lp = Bufsize_numeric.Lp
+module Newton = Bufsize_numeric.Newton
+module Stats = Bufsize_numeric.Stats
+module Birth_death = Bufsize_prob.Birth_death
+module Ctmc = Bufsize_prob.Ctmc
+module Lp_formulation = Bufsize_mdp.Lp_formulation
+module Policy_iteration = Bufsize_mdp.Policy_iteration
+module Value_iteration = Bufsize_mdp.Value_iteration
+module Topology = Bufsize_soc.Topology
+module Traffic = Bufsize_soc.Traffic
+module Spec_parser = Bufsize_soc.Spec_parser
+module Splitting = Bufsize_soc.Splitting
+module Buffer_alloc = Bufsize_soc.Buffer_alloc
+module Sizing = Bufsize_soc.Sizing
+module Monolithic = Bufsize_soc.Monolithic
+module Sim_run = Bufsize_sim.Sim_run
+module Replicate = Bufsize_sim.Replicate
+
+open Oracle
+
+let rel_close tol a b = Float.abs (a -. b) <= tol *. (1. +. Float.max (Float.abs a) (Float.abs b))
+
+(* ----------------------------------------------------- 1. simplex-cross *)
+
+(* Dense tableau vs sparse revised simplex: independently engineered
+   solvers for the same standard form must agree on the classification and
+   (when optimal) on the objective. *)
+
+let outcome_name = function
+  | Lp.Optimal _ -> "optimal"
+  | Lp.Infeasible -> "infeasible"
+  | Lp.Unbounded -> "unbounded"
+
+let check_lp_case (c : Gen_model.lp_case) =
+  let solve engine = Lp.solve ~engine (Gen_model.lp_of_case c) in
+  match (solve Lp.Dense, solve Lp.Revised) with
+  | Lp.Optimal d, Lp.Optimal r ->
+      if rel_close 1e-6 d.Lp.objective r.Lp.objective then Pass
+      else
+        failf "optimal objectives differ: dense %.12g vs revised %.12g" d.Lp.objective
+          r.Lp.objective
+  | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> Pass
+  | d, r -> failf "outcome mismatch: dense %s vs revised %s" (outcome_name d) (outcome_name r)
+
+let shrink_lp_case (c : Gen_model.lp_case) =
+  let drop_row i =
+    { c with Gen_model.rows = List.filteri (fun j _ -> j <> i) c.Gen_model.rows }
+  in
+  let drop_var j =
+    let n = Array.length c.Gen_model.obj in
+    if n <= 1 then None
+    else
+      let keep k = k <> j in
+      let reindex k = if k > j then k - 1 else k in
+      let filter_arr a = Array.of_list (List.filteri (fun k _ -> keep k) (Array.to_list a)) in
+      Some
+        {
+          c with
+          Gen_model.lbs = filter_arr c.Gen_model.lbs;
+          obj = filter_arr c.Gen_model.obj;
+          rows =
+            List.filter_map
+              (fun (terms, sense, rhs) ->
+                match
+                  List.filter_map
+                    (fun (k, cf) -> if keep k then Some (reindex k, cf) else None)
+                    terms
+                with
+                | [] -> None
+                | terms -> Some (terms, sense, rhs))
+              c.Gen_model.rows;
+        }
+  in
+  let zero_obj j =
+    if c.Gen_model.obj.(j) = 0. then None
+    else
+      let obj = Array.copy c.Gen_model.obj in
+      obj.(j) <- 0.;
+      Some { c with Gen_model.obj }
+  in
+  let n = Array.length c.Gen_model.obj in
+  List.init (List.length c.Gen_model.rows) drop_row
+  @ List.filter_map drop_var (List.init n Fun.id)
+  @ List.filter_map zero_obj (List.init n Fun.id)
+
+let rec lp_case_to_oracle_case (c : Gen_model.lp_case) =
+  {
+    label =
+      Printf.sprintf "lp: %d vars, %d rows" (Array.length c.Gen_model.obj)
+        (List.length c.Gen_model.rows);
+    repro = Gen_model.lp_case_to_string c;
+    check = (fun () -> check_lp_case c);
+    shrink = (fun () -> List.map lp_case_to_oracle_case (shrink_lp_case c));
+  }
+
+let simplex_cross =
+  {
+    name = "simplex-cross";
+    doc = "dense tableau vs sparse revised simplex on random LPs";
+    generate = (fun ~max_states:_ rng -> lp_case_to_oracle_case (Gen_model.lp_case rng));
+  }
+
+(* --------------------------------------------------------- 2. mdp-gain *)
+
+(* Average-cost routes on random unichain CTMDPs: the occupation-measure
+   LP (both simplex engines), policy iteration, and small-discount value
+   iteration must tell one consistent story about the optimal gain. *)
+
+let vi_alpha = 1e-3
+
+let check_ctmdp_case (c : Gen_model.ctmdp_case) =
+  let m = Gen_model.ctmdp_of_case c in
+  match Lp_formulation.solve ~engine:Lp.Dense m with
+  | Lp_formulation.Infeasible | Lp_formulation.Unbounded ->
+      failf "occupation LP not optimal on a valid CTMDP"
+  | Lp_formulation.Optimal s ->
+      let g = s.Lp_formulation.gain in
+      all_of
+        [
+          (fun () ->
+            (* The occupation measure is a distribution over (state, action)
+               pairs. *)
+            let mass =
+              Array.fold_left (Array.fold_left ( +. ) : float -> float array -> float) 0.
+                s.Lp_formulation.occupation
+            in
+            if Float.abs (mass -. 1.) <= 1e-6 then Pass
+            else failf "occupation mass %.12g instead of 1" mass);
+          (fun () ->
+            (* Reported extras must be the occupation-weighted resource
+               rates. *)
+            let acc = ref 0. in
+            Array.iteri
+              (fun st xs ->
+                Array.iteri
+                  (fun a x ->
+                    acc := !acc +. (x *. (Bufsize_mdp.Ctmdp.action m st a).Bufsize_mdp.Ctmdp.extras.(0)))
+                  xs)
+              s.Lp_formulation.occupation;
+            if rel_close 1e-6 !acc s.Lp_formulation.extras.(0) then Pass
+            else
+              failf "extras inconsistent with occupation: %.12g vs %.12g" !acc
+                s.Lp_formulation.extras.(0));
+          (fun () ->
+            match Lp_formulation.solve ~engine:Lp.Revised m with
+            | Lp_formulation.Optimal r ->
+                if rel_close 1e-6 r.Lp_formulation.gain g then Pass
+                else
+                  failf "revised-engine gain %.12g differs from dense %.12g"
+                    r.Lp_formulation.gain g
+            | _ -> failf "revised engine failed where dense was optimal");
+          (fun () ->
+            let pi = Policy_iteration.solve m in
+            if not pi.Policy_iteration.converged then failf "policy iteration diverged"
+            else if rel_close 1e-6 pi.Policy_iteration.gain g then Pass
+            else failf "policy-iteration gain %.12g vs LP gain %.12g" pi.Policy_iteration.gain g);
+          (fun () ->
+            let vi = Value_iteration.solve ~alpha:vi_alpha ~tol:1e-7 ~max_iter:1_000_000 m in
+            if not vi.Value_iteration.converged then failf "value iteration diverged"
+            else begin
+              (* The greedy policy of a small-discount solve is average
+                 optimal up to O(alpha): its exactly evaluated gain may
+                 never beat the LP optimum, and must stay close to it. *)
+              let gain_vi, _ = Policy_iteration.evaluate_deterministic m vi.Value_iteration.choice in
+              if gain_vi < g -. (1e-6 *. (1. +. Float.abs g)) then
+                failf "VI's policy gain %.12g beats the 'optimal' LP gain %.12g" gain_vi g
+              else if gain_vi > g +. (0.05 *. (1. +. Float.abs g)) then
+                failf "VI's policy gain %.12g far above the optimal gain %.12g" gain_vi g
+              else Pass
+            end);
+        ]
+
+let shrink_ctmdp_case (c : Gen_model.ctmdp_case) =
+  let n = c.Gen_model.num_states in
+  let drop_last_state () =
+    if n <= 2 then None
+    else
+      let n' = n - 1 in
+      Some
+        {
+          Gen_model.num_states = n';
+          actions =
+            Array.init n' (fun s ->
+                List.map
+                  (fun (label, transitions, cost, extra) ->
+                    (* Remap transitions into the smaller state space; the
+                       cycle edge survives as s -> (s + 1) mod n'. *)
+                    let tbl = Hashtbl.create 4 in
+                    List.iter
+                      (fun (t, r) ->
+                        let t = t mod n' in
+                        if t <> s then
+                          Hashtbl.replace tbl t
+                            (r +. Option.value ~default:0. (Hashtbl.find_opt tbl t)))
+                      transitions;
+                    let transitions =
+                      Hashtbl.fold (fun t r acc -> (t, r) :: acc) tbl []
+                      |> List.sort (fun (a, _) (b, _) -> compare a b)
+                    in
+                    (label, transitions, cost, extra))
+                  c.Gen_model.actions.(s));
+        }
+  in
+  let drop_action s =
+    match c.Gen_model.actions.(s) with
+    | [] | [ _ ] -> []
+    | acts ->
+        List.init (List.length acts) (fun a ->
+            let actions = Array.copy c.Gen_model.actions in
+            actions.(s) <- List.filteri (fun i _ -> i <> a) acts;
+            { c with Gen_model.actions })
+  in
+  (* Replace the [ai]-th action of state [s] in a fresh copy. *)
+  let with_action s ai act =
+    let actions = Array.copy c.Gen_model.actions in
+    actions.(s) <- List.mapi (fun i a -> if i = ai then act else a) c.Gen_model.actions.(s);
+    { c with Gen_model.actions }
+  in
+  let drop_noncycle_transition s =
+    List.concat
+      (List.mapi
+         (fun ai (label, transitions, cost, extra) ->
+           List.filter_map
+             (fun (t, _) ->
+               if t = (s + 1) mod n then None
+               else
+                 Some
+                   (with_action s ai
+                      (label, List.filter (fun (t', _) -> t' <> t) transitions, cost, extra)))
+             transitions)
+         c.Gen_model.actions.(s))
+  in
+  let zero_cost s =
+    List.mapi
+      (fun ai (label, transitions, cost, extra) ->
+        if cost = 0. then None else Some (with_action s ai (label, transitions, 0., extra)))
+      c.Gen_model.actions.(s)
+    |> List.filter_map Fun.id
+  in
+  Option.to_list (drop_last_state ())
+  @ List.concat (List.init n drop_action)
+  @ List.concat (List.init n drop_noncycle_transition)
+  @ List.concat (List.init n zero_cost)
+
+let rec ctmdp_case_to_oracle_case (c : Gen_model.ctmdp_case) =
+  {
+    label = Printf.sprintf "ctmdp: %d states" c.Gen_model.num_states;
+    repro = Gen_model.ctmdp_case_to_string c;
+    check = (fun () -> check_ctmdp_case c);
+    shrink = (fun () -> List.map ctmdp_case_to_oracle_case (shrink_ctmdp_case c));
+  }
+
+let mdp_gain =
+  {
+    name = "mdp-gain";
+    doc = "occupation LP vs policy iteration vs small-discount value iteration";
+    generate = (fun ~max_states rng ->
+        let knobs =
+          { Gen_model.default_ctmdp_knobs with Gen_model.max_states = Int.min 7 max_states }
+        in
+        ctmdp_case_to_oracle_case (Gen_model.ctmdp_case ~knobs rng));
+  }
+
+(* ------------------------------------------------------ 3. sim-analytic *)
+
+(* The simulator's single-client bus is an M/M/1/(k+1) system (the request
+   in service has left the buffer).  Product form, generator solve, closed
+   forms and the discrete-event simulation must agree. *)
+
+let sim_replications = 5
+let sim_horizon = 2500.
+let sim_warmup = 100.
+
+let single_bus_arch (c : Gen_model.mm1k_case) =
+  let b = Topology.builder () in
+  let bus0 = Topology.add_bus b ~service_rate:c.Gen_model.mu "bus" in
+  let p0 = Topology.add_processor b ~bus:bus0 "src" in
+  let p1 = Topology.add_processor b ~bus:bus0 "dst" in
+  let topo = Topology.finalize b in
+  let traffic =
+    Traffic.create topo [ { Traffic.src = p0; dst = p1; rate = c.Gen_model.lambda } ]
+  in
+  (topo, traffic, bus0, p0, p1)
+
+let check_mm1k_case (c : Gen_model.mm1k_case) =
+  let lambda = c.Gen_model.lambda and mu = c.Gen_model.mu in
+  let ksys = c.Gen_model.k + 1 in
+  let bd = Birth_death.mm1k ~lambda ~mu ~k:ksys in
+  let pi = Birth_death.stationary bd in
+  all_of
+    [
+      (fun () ->
+        let s = Array.fold_left ( +. ) 0. pi in
+        if Float.abs (s -. 1.) <= 1e-9 then Pass
+        else failf "product-form distribution sums to %.12g" s);
+      (fun () ->
+        (* Product form vs the generic generator-based LU solve. *)
+        let pi' = Ctmc.stationary (Birth_death.to_ctmc bd) in
+        let err = ref 0. in
+        Array.iteri (fun i p -> err := Float.max !err (Float.abs (p -. pi'.(i)))) pi;
+        if !err <= 1e-8 then Pass
+        else failf "product form vs CTMC stationary: max |diff| = %.3e" !err);
+      (fun () ->
+        let closed = Birth_death.Mm1k.blocking_probability ~lambda ~mu ~k:ksys in
+        if Float.abs (closed -. pi.(ksys)) <= 1e-9 then Pass
+        else failf "closed-form blocking %.12g vs stationary tail %.12g" closed pi.(ksys));
+      (fun () ->
+        (* Steady-state flow balance: accepted inflow = served outflow. *)
+        let accepted = lambda *. (1. -. pi.(ksys)) in
+        let served = mu *. (1. -. pi.(0)) in
+        if rel_close 1e-8 accepted served then Pass
+        else failf "flow balance violated: accepted %.12g vs served %.12g" accepted served);
+      (fun () ->
+        let expected = Birth_death.Mm1k.blocking_probability ~lambda ~mu ~k:ksys in
+        let _, traffic, bus0, p0, p1 = single_bus_arch c in
+        let allocation =
+          Buffer_alloc.make
+            [ (bus0, Traffic.Proc_client p0, c.Gen_model.k); (bus0, Traffic.Proc_client p1, 1) ]
+        in
+        let spec =
+          {
+            (Sim_run.default_spec ~traffic ~allocation) with
+            Sim_run.horizon = sim_horizon;
+            warmup = sim_warmup;
+            seed = c.Gen_model.sim_seed;
+          }
+        in
+        let agg = Replicate.run ~replications:sim_replications spec in
+        let sim = Stats.mean agg.Replicate.loss_fraction in
+        let lo, hi = Stats.confidence_interval95 agg.Replicate.loss_fraction in
+        let half = (hi -. lo) /. 2. in
+        let tol = (4. *. half) +. 0.01 in
+        if Float.abs (sim -. expected) <= tol then Pass
+        else
+          failf "simulated loss fraction %.6g vs analytic %.6g (tolerance %.2g, %d replications)"
+            sim expected tol sim_replications);
+    ]
+
+let shrink_mm1k_case (c : Gen_model.mm1k_case) =
+  let round1 x = Float.round (x *. 10.) /. 10. in
+  List.filter_map Fun.id
+    [
+      (if c.Gen_model.k > 1 then Some { c with Gen_model.k = c.Gen_model.k - 1 } else None);
+      (let l = Float.max 0.1 (round1 c.Gen_model.lambda) in
+       if l <> c.Gen_model.lambda then Some { c with Gen_model.lambda = l } else None);
+      (let m = Float.max 0.1 (round1 c.Gen_model.mu) in
+       if m <> c.Gen_model.mu then Some { c with Gen_model.mu = m } else None);
+    ]
+
+let mm1k_repro (c : Gen_model.mm1k_case) =
+  let topo, traffic, _, _, _ = single_bus_arch c in
+  Printf.sprintf "# M/M/1/K cross-check: src buffer capacity %d words, sim seed %d\n%s"
+    c.Gen_model.k c.Gen_model.sim_seed
+    (Spec_parser.to_string topo traffic)
+
+let rec mm1k_case_to_oracle_case (c : Gen_model.mm1k_case) =
+  {
+    label =
+      Printf.sprintf "mm1k: lambda %g, mu %g, k %d" c.Gen_model.lambda c.Gen_model.mu
+        c.Gen_model.k;
+    repro = mm1k_repro c;
+    check = (fun () -> check_mm1k_case c);
+    shrink = (fun () -> List.map mm1k_case_to_oracle_case (shrink_mm1k_case c));
+  }
+
+let sim_analytic =
+  {
+    name = "sim-analytic";
+    doc = "M/M/1/K closed forms vs CTMC solve vs replicated simulation";
+    generate = (fun ~max_states:_ rng -> mm1k_case_to_oracle_case (Gen_model.mm1k_case rng));
+  }
+
+(* ----------------------------------------------------- 4. sizing-bounds *)
+
+type sizing_case = { text : string; budget : int; max_states : int }
+
+(* A shrink candidate must stay solvable: parseable, and every subsystem
+   keeping at least one loaded client (Bus_model.build's precondition) —
+   otherwise the shrinker would chase unrelated construction errors. *)
+let sizing_well_formed (c : sizing_case) =
+  match Spec_parser.parse c.text with
+  | Error _ -> false
+  | Ok (_, traffic) ->
+      let split = Splitting.split traffic in
+      c.budget >= Splitting.total_clients split
+      && Array.for_all
+           (fun (s : Splitting.subsystem) ->
+             List.exists (fun (_, r) -> r > 0.) s.Splitting.clients)
+           split.Splitting.subsystems
+
+let check_sizing_case (c : sizing_case) =
+  match Spec_parser.parse c.text with
+  | Error e -> failf "repro text no longer parses: %s" e
+  | Ok (topo, traffic) ->
+      let config solver =
+        {
+          (Sizing.default_config ~budget:c.budget) with
+          Sizing.max_states = c.max_states;
+          solver;
+        }
+      in
+      let run solver =
+        match Sizing.run (config solver) traffic with
+        | r -> Ok r
+        | exception Failure msg -> Error msg
+      in
+      let joint = run Sizing.Joint and separate = run Sizing.Separate in
+      (match (joint, separate) with
+      | Error msg, _ -> failf "joint sizing failed: %s" msg
+      | _, Error msg -> failf "separate sizing failed: %s" msg
+      | Ok j, Ok s ->
+          all_of
+            [
+              (fun () ->
+                if Buffer_alloc.total j.Sizing.allocation = c.budget then Pass
+                else
+                  failf "joint allocation spends %d of %d words"
+                    (Buffer_alloc.total j.Sizing.allocation) c.budget);
+              (fun () ->
+                if Buffer_alloc.total s.Sizing.allocation = c.budget then Pass
+                else
+                  failf "separate allocation spends %d of %d words"
+                    (Buffer_alloc.total s.Sizing.allocation) c.budget);
+              (fun () ->
+                if
+                  Float.is_finite j.Sizing.predicted_loss_rate
+                  && j.Sizing.predicted_loss_rate >= -1e-9
+                  && Float.is_finite s.Sizing.predicted_loss_rate
+                  && s.Sizing.predicted_loss_rate >= -1e-9
+                then Pass
+                else
+                  failf "loss-rate predictions out of range: joint %g, separate %g"
+                    j.Sizing.predicted_loss_rate s.Sizing.predicted_loss_rate);
+              (fun () ->
+                if
+                  List.for_all
+                    (fun (_, _, d) -> Float.is_finite d && d >= 0.)
+                    (Sizing.requirements_of_solution j)
+                then Pass
+                else failf "joint requirements contain negatives or non-finites");
+              (fun () ->
+                (* The separate solution (per-subsystem occupancy shares)
+                   is feasible for the joint LP, so the joint optimum can
+                   only be at least as good — the paper's "in one go"
+                   claim, checked when neither solve fell back to the
+                   unconstrained LP. *)
+                if (not j.Sizing.budget_bound_active) || not s.Sizing.budget_bound_active then
+                  Pass
+                else if
+                  j.Sizing.predicted_loss_rate
+                  <= s.Sizing.predicted_loss_rate
+                     +. (1e-6 *. (1. +. Float.abs s.Sizing.predicted_loss_rate))
+                then Pass
+                else
+                  failf "joint loss %.12g worse than separate %.12g"
+                    j.Sizing.predicted_loss_rate s.Sizing.predicted_loss_rate);
+              (fun () ->
+                (* Repro dumps must round-trip through the parser. *)
+                match Spec_parser.parse (Spec_parser.to_string topo traffic) with
+                | Ok _ -> Pass
+                | Error e -> failf "to_string output does not re-parse: %s" e);
+            ])
+
+let shrink_sizing_case (c : sizing_case) =
+  let lines = String.split_on_char '\n' c.text in
+  let drop_line i =
+    let text =
+      String.concat "\n" (List.filteri (fun j _ -> j <> i) lines)
+    in
+    { c with text }
+  in
+  let candidates =
+    List.init (List.length lines) drop_line
+    @ (if c.budget > 2 then [ { c with budget = c.budget / 2 } ] else [])
+    @ if c.max_states > 8 then [ { c with max_states = c.max_states / 2 } ] else []
+  in
+  List.filter sizing_well_formed candidates
+
+let rec sizing_case_to_oracle_case (c : sizing_case) =
+  {
+    label = Printf.sprintf "sizing: budget %d, max_states %d" c.budget c.max_states;
+    repro =
+      Printf.sprintf "# sizing cross-check: budget %d words, max_states %d\n%s" c.budget
+        c.max_states c.text;
+    check = (fun () -> check_sizing_case c);
+    shrink = (fun () -> List.map sizing_case_to_oracle_case (shrink_sizing_case c));
+  }
+
+let sizing_bounds =
+  {
+    name = "sizing-bounds";
+    doc = "joint vs separate sizing: bound ordering and budget conservation";
+    generate =
+      (fun ~max_states rng ->
+        let topo, traffic = Gen_model.arch rng in
+        let nclients = Splitting.total_clients (Splitting.split traffic) in
+        let budget = nclients * (2 + Rng.int rng 3) in
+        sizing_case_to_oracle_case
+          {
+            text = Spec_parser.to_string topo traffic;
+            budget;
+            max_states = Int.max 8 (Int.min max_states 64);
+          });
+  }
+
+(* -------------------------------------------------- 5. split-monolithic *)
+
+(* Two independent solvers of the monolithic quadratic closure — damped
+   Newton on the balance residual, and a Picard fixed point built from
+   Birth_death product forms — plus the split linear solution, which must
+   agree exactly on the decoupled (cross_fraction = 0) boundary. *)
+
+let bd_stationary ~birth ~death ~k =
+  Birth_death.stationary
+    (Birth_death.create ~births:(Array.make k birth) ~deaths:(Array.make k death))
+
+(* Given (x_0, y_0), the closure's effective rates make both buses plain
+   constant-rate birth-death chains; iterate to a fixed point. *)
+let picard (s : Monolithic.spec) ~x0:px ~y0:py =
+  let f = s.Monolithic.cross_fraction in
+  let rec go px py iter =
+    if iter > 500 then None
+    else begin
+      let mu_x_eff = s.Monolithic.mu_x *. (1. -. f +. (f *. py)) in
+      let xd = bd_stationary ~birth:s.Monolithic.lambda_x ~death:mu_x_eff ~k:s.Monolithic.kx in
+      let cross_in = f *. mu_x_eff *. (1. -. xd.(0)) in
+      let mu_y_eff = s.Monolithic.mu_y *. (1. -. (f *. (1. -. xd.(0)))) in
+      let yd =
+        bd_stationary ~birth:(s.Monolithic.lambda_y +. cross_in) ~death:mu_y_eff
+          ~k:s.Monolithic.ky
+      in
+      let delta = Float.abs (xd.(0) -. px) +. Float.abs (yd.(0) -. py) in
+      if delta < 1e-13 then Some (Array.append xd yd) else go xd.(0) yd.(0) (iter + 1)
+    end
+  in
+  go px py 0
+
+let residual_inf s v =
+  Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0. (Monolithic.residual s v)
+
+let check_monolithic_case (s : Monolithic.spec) =
+  let split = Monolithic.solve_split s in
+  let normalized name (d : float array) () =
+    let sum = Array.fold_left ( +. ) 0. d in
+    if Float.abs (sum -. 1.) <= 1e-7 && Array.for_all (fun p -> p >= -1e-9) d then Pass
+    else failf "%s distribution invalid (sum %.12g)" name sum
+  in
+  all_of
+    [
+      normalized "bus X" split.Monolithic.x_dist;
+      normalized "bus Y" split.Monolithic.y_dist;
+      normalized "bridge" split.Monolithic.bridge_dist;
+      (fun () ->
+        (* After insertion, bus X is exactly M/M/1/K. *)
+        let closed =
+          Birth_death.Mm1k.loss_rate ~lambda:s.Monolithic.lambda_x ~mu:s.Monolithic.mu_x
+            ~k:s.Monolithic.kx
+        in
+        if rel_close 1e-7 closed split.Monolithic.x_loss then Pass
+        else failf "split bus-X loss %.12g vs closed form %.12g" split.Monolithic.x_loss closed);
+      (fun () ->
+        let start = Array.append split.Monolithic.x_dist split.Monolithic.y_dist in
+        match picard s ~x0:split.Monolithic.x_dist.(0) ~y0:split.Monolithic.y_dist.(0) with
+        | None -> Pass (* no attractive fixed point from this start: nothing to compare *)
+        | Some fp ->
+            all_of
+              [
+                (fun () ->
+                  (* The Picard root is computed through Birth_death product
+                     forms — an independent encoding of the same closure —
+                     so it must satisfy Monolithic.residual. *)
+                  let r = residual_inf s fp in
+                  if r <= 1e-7 then Pass
+                  else failf "picard fixed point violates the balance residual: %.3e" r);
+                (fun () ->
+                  let r =
+                    Newton.solve ~damped:true ~tol:1e-11 ~f:(Monolithic.residual s) ~x0:start ()
+                  in
+                  if not r.Newton.converged then
+                    failf "damped Newton diverged from the split warm start (residual %.3e)"
+                      r.Newton.residual
+                  else begin
+                    let diff = ref 0. in
+                    Array.iteri
+                      (fun i v -> diff := Float.max !diff (Float.abs (v -. fp.(i))))
+                      r.Newton.solution;
+                    if !diff <= 1e-5 then Pass
+                    else if
+                      (* Two tiny residuals at different points = the
+                         closure's known bistability, not a solver bug. *)
+                      residual_inf s r.Newton.solution <= 1e-8 && residual_inf s fp <= 1e-8
+                    then Pass
+                    else
+                      failf "Newton and Picard disagree (max |diff| %.3e) without both being roots"
+                        !diff
+                  end);
+                (fun () ->
+                  if s.Monolithic.cross_fraction <> 0. then Pass
+                  else begin
+                    (* Decoupled boundary: the monolithic root and the split
+                       solution describe the same two independent queues. *)
+                    let diff = ref 0. in
+                    Array.iteri
+                      (fun i p -> diff := Float.max !diff (Float.abs (p -. fp.(i))))
+                      (Array.append split.Monolithic.x_dist split.Monolithic.y_dist);
+                    if !diff <= 1e-7 then Pass
+                    else
+                      failf "cross_fraction = 0 but split and monolithic differ by %.3e" !diff
+                  end);
+              ])
+    ]
+
+let shrink_monolithic_case (s : Monolithic.spec) =
+  let round1 x = Float.max 0.1 (Float.round (x *. 10.) /. 10.) in
+  List.filter_map Fun.id
+    [
+      (if s.Monolithic.kx > 1 then Some { s with Monolithic.kx = s.Monolithic.kx - 1 } else None);
+      (if s.Monolithic.ky > 1 then Some { s with Monolithic.ky = s.Monolithic.ky - 1 } else None);
+      (if s.Monolithic.cross_fraction > 0. then Some { s with Monolithic.cross_fraction = 0. }
+       else None);
+      (let l = round1 s.Monolithic.lambda_x in
+       if l <> s.Monolithic.lambda_x && l < s.Monolithic.mu_x then
+         Some { s with Monolithic.lambda_x = l }
+       else None);
+      (let l = round1 s.Monolithic.lambda_y in
+       if l <> s.Monolithic.lambda_y && l < s.Monolithic.mu_y then
+         Some { s with Monolithic.lambda_y = l }
+       else None);
+    ]
+
+let rec monolithic_case_to_oracle_case (s : Monolithic.spec) =
+  {
+    label =
+      Printf.sprintf "monolithic: kx %d, ky %d, cross %g" s.Monolithic.kx s.Monolithic.ky
+        s.Monolithic.cross_fraction;
+    repro = Gen_model.monolithic_to_string s;
+    check = (fun () -> check_monolithic_case s);
+    shrink = (fun () -> List.map monolithic_case_to_oracle_case (shrink_monolithic_case s));
+  }
+
+let split_monolithic =
+  {
+    name = "split-monolithic";
+    doc = "split linear solution vs Newton and Picard on the quadratic closure";
+    generate =
+      (fun ~max_states:_ rng -> monolithic_case_to_oracle_case (Gen_model.monolithic_spec rng));
+  }
+
+(* ----------------------------------------------------------- the matrix *)
+
+let all = [ simplex_cross; mdp_gain; sim_analytic; sizing_bounds; split_monolithic ]
+
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let names () = List.map (fun o -> o.name) all

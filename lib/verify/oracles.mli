@@ -1,0 +1,23 @@
+(** The oracle matrix: independent solution routes cross-checked on random
+    instances (see DESIGN.md §6.1 for the full matrix and tolerances).
+
+    - [simplex-cross]: dense tableau vs sparse revised simplex on random
+      LPs — same classification, same objective.
+    - [mdp-gain]: occupation-measure LP (both engines) vs average-cost
+      policy iteration vs small-discount value iteration on random
+      unichain CTMDPs.
+    - [sim-analytic]: M/M/1/K product form vs generator-based CTMC
+      stationary solve vs closed forms vs replicated discrete-event
+      simulation (confidence-interval aware).
+    - [sizing-bounds]: joint vs separate sizing solves on random bridged
+      architectures — bound ordering, budget conservation, repro
+      round-trips.
+    - [split-monolithic]: the split linear solution vs damped Newton and a
+      Picard fixed point on the monolithic quadratic closure; exact
+      agreement on the decoupled ([cross_fraction = 0]) boundary. *)
+
+val all : Oracle.t list
+
+val find : string -> Oracle.t option
+
+val names : unit -> string list

@@ -1,0 +1,16 @@
+let minimize ?(max_steps = 500) case msg =
+  let rec first = function
+    | [] -> None
+    | c :: rest -> (
+        match Oracle.run_check c with
+        | Oracle.Fail m -> Some (c, m)
+        | Oracle.Pass -> first rest)
+  in
+  let rec go case msg steps =
+    if steps >= max_steps then (case, msg, steps)
+    else
+      match first (case.Oracle.shrink ()) with
+      | None -> (case, msg, steps)
+      | Some (c, m) -> go c m (steps + 1)
+  in
+  go case msg 0

@@ -1,0 +1,14 @@
+(** Greedy minimization of failing oracle cases.
+
+    Classic delta-debugging loop: as long as some shrink candidate of the
+    current case still fails its check, move to the first such candidate.
+    The result is locally minimal — every remaining shrink candidate
+    passes — which is what makes repro files readable. *)
+
+val minimize :
+  ?max_steps:int -> Oracle.case -> string -> Oracle.case * string * int
+(** [minimize case msg] takes a case whose check already failed with
+    [msg]; returns the shrunk case, its failure message, and the number of
+    accepted shrink steps.  [max_steps] (default 500) bounds the greedy
+    descent; candidate checks that raise count as failures (via
+    {!Oracle.run_check}). *)

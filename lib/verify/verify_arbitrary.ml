@@ -1,0 +1,23 @@
+module Rng = Bufsize_prob.Rng
+module Gen_model = Bufsize_verify.Gen_model
+
+let seeded name gen =
+  let of_seed seed = (seed, gen (Rng.create seed)) in
+  QCheck.make
+    ~print:(fun (seed, _) -> Printf.sprintf "%s (seed %d)" name seed)
+    ~shrink:(fun (seed, _) yield -> QCheck.Shrink.int seed (fun s -> yield (of_seed s)))
+    QCheck.Gen.(map of_seed nat)
+
+let arch = seeded "arch" (fun rng -> Gen_model.arch rng)
+
+let spec_text = seeded "spec_text" (fun rng -> Gen_model.arch_text rng)
+
+let ctmdp = seeded "ctmdp" (fun rng -> Gen_model.ctmdp rng)
+
+let ctmdp_case = seeded "ctmdp_case" (fun rng -> Gen_model.ctmdp_case rng)
+
+let lp_case = seeded "lp_case" (fun rng -> Gen_model.lp_case rng)
+
+let mm1k_case = seeded "mm1k_case" Gen_model.mm1k_case
+
+let monolithic_spec = seeded "monolithic_spec" Gen_model.monolithic_spec

@@ -1,0 +1,29 @@
+(** {!Gen_model} generators exposed as qcheck arbitraries.
+
+    Each arbitrary draws an integer seed and maps it through the
+    corresponding seeded {!Gen_model} generator, so qcheck counterexamples
+    print (and shrink) as seeds — rerun any failure deterministically with
+    [Bufsize_verify.Gen_model.* (Rng.create seed)].  Kept in a separate library
+    ([bufsize.verify-qcheck]) so the CLI's verify path does not link
+    qcheck. *)
+
+val seeded : string -> (Bufsize_prob.Rng.t -> 'a) -> (int * 'a) QCheck.arbitrary
+(** [seeded name gen] pairs the drawn seed with the generated value; the
+    seed shrinks toward 0 like any qcheck integer, regenerating the value
+    as it goes. *)
+
+val arch :
+  (int * (Bufsize_soc.Topology.t * Bufsize_soc.Traffic.t)) QCheck.arbitrary
+
+val spec_text : (int * string) QCheck.arbitrary
+(** {!Bufsize_verify.Gen_model.arch_text}: parseable architecture descriptions. *)
+
+val ctmdp : (int * Bufsize_mdp.Ctmdp.t) QCheck.arbitrary
+
+val ctmdp_case : (int * Bufsize_verify.Gen_model.ctmdp_case) QCheck.arbitrary
+
+val lp_case : (int * Bufsize_verify.Gen_model.lp_case) QCheck.arbitrary
+
+val mm1k_case : (int * Bufsize_verify.Gen_model.mm1k_case) QCheck.arbitrary
+
+val monolithic_spec : (int * Bufsize_soc.Monolithic.spec) QCheck.arbitrary

@@ -181,7 +181,27 @@ let test_merge_empty_identity () =
   let e = Stats.create () in
   check_stats_identical "left identity" s (Stats.merge e s);
   check_stats_identical "right identity" s (Stats.merge s e);
-  Alcotest.(check int) "both empty" 0 (Stats.count (Stats.merge e (Stats.create ())))
+  Alcotest.(check int) "both empty" 0 (Stats.count (Stats.merge e (Stats.create ())));
+  (* Merging empties never manufactures values: mean stays NaN, extrema
+     stay at their empty sentinels, and no NaN leaks into a later merge. *)
+  let ee = Stats.merge e (Stats.create ()) in
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (Stats.mean ee));
+  check_stats_identical "empty merge then data" s (Stats.merge ee s)
+
+let test_merge_single_samples () =
+  (* Single-observation shards: the smallest non-empty case.  Variance of
+     one sample is NaN by convention; merging two singles must produce the
+     exact two-sample statistics, not NaN. *)
+  let a = Stats.of_list [ 4. ] and b = Stats.of_list [ 10. ] in
+  Alcotest.(check bool) "single variance nan" true (Float.is_nan (Stats.variance a));
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 2 (Stats.count m);
+  Alcotest.(check (float 1e-12)) "mean" 7. (Stats.mean m);
+  Alcotest.(check (float 1e-12)) "variance" 18. (Stats.variance m);
+  Alcotest.(check (float 1e-12)) "min" 4. (Stats.min_value m);
+  Alcotest.(check (float 1e-12)) "max" 10. (Stats.max_value m);
+  check_stats_identical "single + empty" a (Stats.merge a (Stats.create ()));
+  check_stats_identical "empty + single" a (Stats.merge (Stats.create ()) a)
 
 (* -------------------------------------------------------- simplex pricing *)
 
@@ -261,6 +281,7 @@ let () =
         [
           Alcotest.test_case "merge = single pass (qcheck)" `Quick test_merge_matches_single_pass;
           Alcotest.test_case "empty identities" `Quick test_merge_empty_identity;
+          Alcotest.test_case "single-sample shards" `Quick test_merge_single_samples;
         ] );
       ( "simplex-pricing",
         [

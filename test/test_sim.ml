@@ -60,6 +60,78 @@ let test_heap_nan_rejected () =
   Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: NaN time") (fun () ->
       Event_heap.push h ~time:Float.nan ())
 
+(* Property: under any interleaving of pushes and pops, the heap behaves
+   like a sorted multiset — every pop returns the minimum pending time,
+   and sizes track exactly.  Times are drawn from a tiny discrete set so
+   ties are frequent. *)
+let test_heap_model_property () =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_range 1 120)
+        (frequency [ (3, map (fun t -> `Push (float_of_int t)) (int_range 0 5)); (2, return `Pop) ]))
+  in
+  let prop ops =
+    let h = Event_heap.create () in
+    let pending = ref [] in
+    List.for_all
+      (fun op ->
+        match op with
+        | `Push t ->
+            Event_heap.push h ~time:t ();
+            pending := t :: !pending;
+            Event_heap.size h = List.length !pending
+        | `Pop -> (
+            match (Event_heap.pop h, !pending) with
+            | None, [] -> true
+            | None, _ :: _ | Some _, [] -> false
+            | Some (t, ()), ps ->
+                let m = List.fold_left Float.min infinity ps in
+                let rec remove_one = function
+                  | [] -> []
+                  | x :: rest -> if x = t then rest else x :: remove_one rest
+                in
+                pending := remove_one ps;
+                t = m && Event_heap.size h = List.length !pending))
+      ops
+    && (Event_heap.is_empty h = (!pending = []))
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"heap vs multiset model" (QCheck.make op_gen) prop)
+
+(* Property: events pushed with equal times pop in insertion order, no
+   matter what other times surround them. *)
+let test_heap_tie_stability_property () =
+  let gen =
+    QCheck.Gen.(list_size (int_range 2 60) (pair (int_range 0 3) nat))
+  in
+  let prop timed =
+    let h = Event_heap.create () in
+    List.iteri (fun i (t, x) -> Event_heap.push h ~time:(float_of_int t) (i, x)) timed;
+    let popped = ref [] in
+    let rec drain () =
+      match Event_heap.pop h with
+      | Some (t, v) ->
+          popped := (t, v) :: !popped;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    let popped = List.rev !popped in
+    (* Within every group of equal times, insertion sequence numbers must
+       be strictly increasing. *)
+    List.for_all
+      (fun t0 ->
+        let seq =
+          List.filter_map
+            (fun (t, (i, _)) -> if t = float_of_int t0 then Some i else None)
+            popped
+        in
+        List.sort compare seq = seq)
+      [ 0; 1; 2; 3 ]
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"FIFO within equal times" (QCheck.make gen) prop)
+
 (* ------------------------------------------------------------------ des *)
 
 let test_des_runs_in_order () =
@@ -381,6 +453,65 @@ let test_replicate_aggregates () =
   Alcotest.(check bool) "src loses" true (per_proc.(0) > 0.);
   check_close 1e-12 "dst loses nothing" 0. per_proc.(1)
 
+(* Merging with the empty aggregate must be the identity, and merging two
+   single-replication shards must reproduce the two-replication run (the
+   regression here was NaN variance sneaking in through empty shards). *)
+let test_replicate_empty_merge_identity () =
+  let spec =
+    { (single_bus_spec ~lambda:2.0 ~mu:3.0 ~k:4) with Sim_run.horizon = 500.; warmup = 50. }
+  in
+  let agg = Replicate.run ~replications:3 spec in
+  let nprocs = Array.length agg.Replicate.per_proc_lost in
+  let e = Replicate.empty ~nprocs in
+  Alcotest.(check int) "empty has no replications" 0 e.Replicate.replications;
+  List.iter
+    (fun merged ->
+      Alcotest.(check int) "replications" 3 merged.Replicate.replications;
+      Alcotest.(check int) "count" (Stats.count agg.Replicate.total_lost)
+        (Stats.count merged.Replicate.total_lost);
+      check_close 1e-12 "mean" (Stats.mean agg.Replicate.total_lost)
+        (Stats.mean merged.Replicate.total_lost);
+      check_close 1e-9 "variance" (Stats.variance agg.Replicate.total_lost)
+        (Stats.variance merged.Replicate.total_lost);
+      check_close 1e-12 "loss fraction mean" (Stats.mean agg.Replicate.loss_fraction)
+        (Stats.mean merged.Replicate.loss_fraction);
+      Array.iteri
+        (fun p s ->
+          check_close 1e-12 "per-proc mean" (Stats.mean agg.Replicate.per_proc_lost.(p))
+            (Stats.mean s))
+        merged.Replicate.per_proc_lost)
+    [ Replicate.merge e agg; Replicate.merge agg e ];
+  let ee = Replicate.merge e (Replicate.empty ~nprocs) in
+  Alcotest.(check int) "empty + empty count" 0 (Stats.count ee.Replicate.total_lost);
+  Alcotest.(check bool) "empty + empty mean is nan" true
+    (Float.is_nan (Stats.mean ee.Replicate.total_lost))
+
+let test_replicate_single_sample_merge () =
+  let spec =
+    { (single_bus_spec ~lambda:2.0 ~mu:3.0 ~k:4) with Sim_run.horizon = 500.; warmup = 50. }
+  in
+  (* Two single-replication shards with different base seeds.  A
+     single-sample aggregate has a well-defined mean and (by convention)
+     NaN variance; the merge must produce the exact two-sample
+     statistics, not propagate the NaN. *)
+  let a = Replicate.run ~replications:1 spec in
+  let b = Replicate.run ~replications:1 { spec with Sim_run.seed = 4242 } in
+  Alcotest.(check bool) "single-sample variance is nan" true
+    (Float.is_nan (Stats.variance a.Replicate.total_lost));
+  Alcotest.(check bool) "single-sample mean finite" true
+    (Float.is_finite (Stats.mean a.Replicate.total_lost));
+  let la = Stats.mean a.Replicate.total_lost and lb = Stats.mean b.Replicate.total_lost in
+  let merged = Replicate.merge a b in
+  Alcotest.(check int) "replications" 2 merged.Replicate.replications;
+  Alcotest.(check int) "count" 2 (Stats.count merged.Replicate.total_lost);
+  check_close 1e-9 "mean" ((la +. lb) /. 2.) (Stats.mean merged.Replicate.total_lost);
+  let d = la -. lb in
+  check_close 1e-9 "variance" (d *. d /. 2.) (Stats.variance merged.Replicate.total_lost);
+  Alcotest.(check bool) "variance finite with two samples" true
+    (Float.is_finite (Stats.variance merged.Replicate.total_lost));
+  check_close 1e-12 "min" (Float.min la lb) (Stats.min_value merged.Replicate.total_lost);
+  check_close 1e-12 "max" (Float.max la lb) (Stats.max_value merged.Replicate.total_lost)
+
 let () =
   Alcotest.run "sim"
     [
@@ -390,6 +521,8 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "random order (500 events)" `Quick test_heap_random_order;
           Alcotest.test_case "NaN rejected" `Quick test_heap_nan_rejected;
+          Alcotest.test_case "multiset model (property)" `Quick test_heap_model_property;
+          Alcotest.test_case "tie stability (property)" `Quick test_heap_tie_stability_property;
         ] );
       ( "des",
         [
@@ -435,5 +568,9 @@ let () =
           Alcotest.test_case "nan without deliveries" `Quick test_sim_no_deliveries_nan_latency;
         ] );
       ( "replicate",
-        [ Alcotest.test_case "aggregation" `Quick test_replicate_aggregates ] );
+        [
+          Alcotest.test_case "aggregation" `Quick test_replicate_aggregates;
+          Alcotest.test_case "empty merge identity" `Quick test_replicate_empty_merge_identity;
+          Alcotest.test_case "single-sample shards" `Quick test_replicate_single_sample_merge;
+        ] );
     ]

@@ -559,15 +559,15 @@ let test_spec_parse_ok () =
       check_close 1e-9 "explicit bus rate" 20.0
         (Topology.bus topo (Topology.find_bus topo "core")).Topology.service_rate
 
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
 let expect_error fragment text =
   match Spec_parser.parse text with
   | Ok _ -> Alcotest.failf "expected error mentioning %S" fragment
   | Error msg ->
-      let contains needle haystack =
-        let nl = String.length needle and hl = String.length haystack in
-        let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
-        scan 0
-      in
       Alcotest.(check bool) (Printf.sprintf "error %S mentions %S" msg fragment) true
         (contains fragment msg)
 
@@ -598,6 +598,49 @@ let test_spec_parse_file_missing () =
   match Spec_parser.parse_file "/nonexistent/arch.txt" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected I/O error"
+
+(* Error paths through parse_file: the same diagnostics (with line
+   numbers) must surface when the text arrives from disk. *)
+let expect_file_error fragment text =
+  let path = Filename.temp_file "bufsize_spec" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      match Spec_parser.parse_file path with
+      | Ok _ -> Alcotest.failf "expected file error mentioning %S" fragment
+      | Error msg ->
+          Alcotest.(check bool) (Printf.sprintf "error %S mentions %S" msg fragment) true
+            (contains fragment msg))
+
+let test_spec_parse_file_errors () =
+  expect_file_error "no flows" "";
+  expect_file_error "unknown bus" "proc p on nowhere\nflow p -> p rate 1.";
+  expect_file_error "duplicate processor" "bus a\nproc p on a\nproc p on a";
+  expect_file_error "malformed flow rate" "bus a\nproc p on a\nproc q on a\nflow p -> q rate fast"
+
+(* Round-trip property over random generated architectures: to_string
+   output re-parses to an architecture with identical shape and load. *)
+let test_spec_roundtrip_property () =
+  let prop (_seed, text) =
+    match Spec_parser.parse text with
+    | Error e -> QCheck.Test.fail_reportf "generated spec does not parse: %s" e
+    | Ok (topo, traffic) -> (
+        match Spec_parser.parse (Spec_parser.to_string topo traffic) with
+        | Error e -> QCheck.Test.fail_reportf "round-trip does not parse: %s" e
+        | Ok (topo2, traffic2) ->
+            Topology.num_buses topo = Topology.num_buses topo2
+            && Topology.num_processors topo = Topology.num_processors topo2
+            && Topology.num_bridges topo = Topology.num_bridges topo2
+            && Array.length (Traffic.flows traffic) = Array.length (Traffic.flows traffic2)
+            && Float.abs (Traffic.total_offered traffic -. Traffic.total_offered traffic2)
+               < 1e-9)
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"spec round-trip"
+       Bufsize_verify_qcheck.Verify_arbitrary.spec_text prop)
 
 (* --------------------------------------------------------------- sizing *)
 
@@ -727,6 +770,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
           Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
           Alcotest.test_case "missing file" `Quick test_spec_parse_file_missing;
+          Alcotest.test_case "file error paths" `Quick test_spec_parse_file_errors;
+          Alcotest.test_case "roundtrip (property)" `Quick test_spec_roundtrip_property;
         ] );
       ( "dot",
         [
