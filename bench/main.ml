@@ -14,11 +14,16 @@
                          at 1/2/4/all domains, with an identical-statistics
                          cross-check
      perf                bechamel microbenchmarks
+     sparse              CSR pipeline scaling: netproc core subsystem with
+                         buffer levels swept up to 2x, sparse vs dense
+                         solve time, allocation, and peak RSS
 
    With no argument the paper artifacts (fig1 nonlinear fig3 table1) run in
-   order.  `all` adds the ablations, parallel, and perf.  Runs that include
-   `parallel` or `perf` also write BENCH_parallel.json with per-artifact
-   wall-clock times (machine-readable perf trajectory). *)
+   order.  `all` adds the ablations, parallel, perf, and sparse.  Runs that
+   include `parallel` or `perf` also write BENCH_parallel.json with
+   per-artifact wall-clock times (machine-readable perf trajectory); runs
+   that include `sparse` write BENCH_sparse.json (per-instance states,
+   seconds, allocation, peak RSS, and the dense-path comparison). *)
 
 module B = Bufsize
 module Stats = Bufsize_numeric.Stats
@@ -549,6 +554,179 @@ let run_perf () =
           by_test)
     results
 
+(* --------------------------------------------------------------- SPARSE *)
+
+(* CSR pipeline scaling: sweep the per-processor buffer levels of the
+   netproc `core` subsystem (8 loaded processors) from the production
+   discretization up to doubled levels, solving each CTMDP end-to-end
+   through the sparse pipeline (policy iteration with iterative
+   evaluation, sparse stationary distribution).  On the largest instance
+   the final policy is re-evaluated through the historical dense path
+   (dense (n+1)^2 evaluation system, LU elimination) for the speedup and
+   peak-memory comparison.  Sweep points are the number of processors
+   whose level count is doubled (0 = today's discretization, 8 = all
+   doubled), overridable via BUFSIZE_SPARSE_SWEEP="0,2,..." for CI smoke
+   runs.  Results go to BENCH_sparse.json. *)
+
+type sparse_entry = {
+  se_name : string;
+  se_states : int;
+  se_actions : int;
+  se_seconds : float;
+  se_alloc_mb : float;
+  se_rss_mb : float;
+  se_speedup : float option;  (* dense seconds / sparse seconds *)
+  se_alloc_ratio : float option;  (* dense alloc / sparse alloc *)
+}
+
+let sparse_records : sparse_entry list ref = ref []
+
+(* Peak resident set (VmHWM) in MB; 0. where /proc is unavailable. *)
+let vm_hwm_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0.
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf
+                (String.sub line 6 (String.length line - 6))
+                " %f kB"
+                (fun kb -> kb /. 1024.)
+            else scan ()
+      in
+      let hwm = scan () in
+      close_in ic;
+      hwm
+
+let write_sparse_json path =
+  let oc = open_out path in
+  output_string oc
+    "{\n  \"schema\": \"bufsize-bench-sparse-v1\",\n  \"subsystem\": \"netproc:core\",\n  \"entries\": [\n";
+  let entries = List.rev !sparse_records in
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"states\": %d, \"actions\": %d, \"seconds\": %.6f, \
+         \"alloc_mb\": %.3f, \"peak_rss_mb\": %.1f%s%s}%s\n"
+        e.se_name e.se_states e.se_actions e.se_seconds e.se_alloc_mb e.se_rss_mb
+        (match e.se_speedup with
+        | None -> ""
+        | Some s -> Printf.sprintf ", \"sparse_speedup\": %.3f" s)
+        (match e.se_alloc_ratio with
+        | None -> ""
+        | Some r -> Printf.sprintf ", \"sparse_alloc_ratio\": %.3f" r)
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.(json written to %s)@." path
+
+let timed_alloc f =
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (x, dt, (Gc.allocated_bytes () -. a0) /. 1048576.)
+
+let run_sparse () =
+  section "SPARSE: CSR pipeline scaling (netproc core subsystem, levels sweep)";
+  let _, traffic = B.Netproc.create () in
+  let split = B.Splitting.split traffic in
+  let sub =
+    match
+      Array.find_opt
+        (fun s -> s.B.Splitting.bus_name = "core")
+        split.B.Splitting.subsystems
+    with
+    | Some s -> s
+    | None -> failwith "netproc: no core subsystem"
+  in
+  let base = B.Bus_model.build ~max_states:64 sub in
+  let base_levels =
+    Array.map (fun (c : B.Bus_model.client_model) -> c.B.Bus_model.levels) (B.Bus_model.clients base)
+  in
+  let nclients = Array.length base_levels in
+  let sweep =
+    match Sys.getenv_opt "BUFSIZE_SPARSE_SWEEP" with
+    | Some s ->
+        List.filter_map
+          (fun tok ->
+            let tok = String.trim tok in
+            if tok = "" then None else Some (int_of_string tok))
+          (String.split_on_char ',' s)
+    | None -> [ 0; 2; 4; 6; 8 ]
+  in
+  let record_sparse ?speedup ?alloc_ratio name states actions secs alloc =
+    sparse_records :=
+      {
+        se_name = name;
+        se_states = states;
+        se_actions = actions;
+        se_seconds = secs;
+        se_alloc_mb = alloc;
+        se_rss_mb = vm_hwm_mb ();
+        se_speedup = speedup;
+        se_alloc_ratio = alloc_ratio;
+      }
+      :: !sparse_records
+  in
+  let line name states actions secs alloc =
+    Format.printf "  %-22s %8d %8d %10.3f %10.1f %10.1f@." name states actions secs alloc
+      (vm_hwm_mb ())
+  in
+  Format.printf "  %-22s %8s %8s %10s %10s %10s@." "instance" "states" "actions" "seconds"
+    "alloc MB" "rss MB";
+  let largest = ref None in
+  List.iter
+    (fun k ->
+      if k < 0 || k > nclients then
+        invalid_arg (Printf.sprintf "sparse sweep: %d out of range 0..%d" k nclients);
+      (* Double the discretization of the first [k] processors. *)
+      let levels = Array.mapi (fun i l -> if i < k then 2 * l else l) base_levels in
+      let model = B.Bus_model.build ~levels sub in
+      let ctmdp = B.Bus_model.ctmdp model in
+      let states = B.Bus_model.num_states model in
+      let actions = B.Mdp.Ctmdp.total_state_actions ctmdp in
+      let res, dt, alloc = timed_alloc (fun () -> B.Mdp.Policy_iteration.solve ctmdp) in
+      let name = Printf.sprintf "sparse:solve:k=%d" k in
+      record_sparse name states actions dt alloc;
+      line name states actions dt alloc;
+      let _occ, dt_s, alloc_s =
+        timed_alloc (fun () -> B.Mdp.Policy.stationary ctmdp res.B.Mdp.Policy_iteration.policy)
+      in
+      let sname = Printf.sprintf "sparse:stationary:k=%d" k in
+      record_sparse sname states actions dt_s alloc_s;
+      line sname states actions dt_s alloc_s;
+      largest := Some (k, ctmdp, states, actions, res))
+    sweep;
+  match !largest with
+  | None -> ()
+  | Some (k, ctmdp, states, actions, res) ->
+      Format.printf "@.  dense-path comparison on the largest instance (%d states):@." states;
+      let choice = res.B.Mdp.Policy_iteration.choice in
+      let (_ : float * float array), it_dt, it_alloc =
+        timed_alloc (fun () ->
+            B.Mdp.Policy_iteration.evaluate_deterministic_iterative ctmdp choice)
+      in
+      let iname = Printf.sprintf "sparse:evaluate:k=%d" k in
+      record_sparse iname states actions it_dt it_alloc;
+      line iname states actions it_dt it_alloc;
+      let (_ : float * float array), de_dt, de_alloc =
+        timed_alloc (fun () -> B.Mdp.Policy_iteration.evaluate_deterministic ctmdp choice)
+      in
+      let speedup = de_dt /. it_dt in
+      let alloc_ratio = de_alloc /. it_alloc in
+      let dname = Printf.sprintf "dense:evaluate:k=%d" k in
+      record_sparse ~speedup ~alloc_ratio dname states actions de_dt de_alloc;
+      line dname states actions de_dt de_alloc;
+      Format.printf
+        "@.  policy evaluation at %d states: %.2fx faster, %.1fx less allocation sparse@."
+        states speedup alloc_ratio
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -562,6 +740,7 @@ let () =
       "ablation-profiling";
       "parallel";
       "perf";
+      "sparse";
     ]
   in
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
@@ -587,6 +766,7 @@ let () =
       | "ablation-profiling" -> run_ablation_profiling ()
       | "parallel" -> run_parallel ()
       | "perf" -> run_perf ()
+      | "sparse" -> run_sparse ()
       | other ->
           known := false;
           Format.printf "unknown artifact %S; known: %s@." other
@@ -594,4 +774,5 @@ let () =
       if !known then record (Printf.sprintf "artifact:%s" name) (Unix.gettimeofday () -. t0))
     selected;
   if List.exists (fun a -> a = "perf" || a = "parallel") selected then
-    write_bench_json "BENCH_parallel.json"
+    write_bench_json "BENCH_parallel.json";
+  if List.mem "sparse" selected then write_sparse_json "BENCH_sparse.json"

@@ -243,13 +243,31 @@ let verify_cmd =
     let doc = "Cap on generated model sizes (states per CTMDP, sizing levels)." in
     Arg.(value & opt int 48 & info [ "max-states" ] ~docv:"N" ~doc)
   in
-  let run seed count oracle_names out_dir max_states list =
+  let replay_arg =
+    let doc =
+      "Re-run a single $(docv) previously written by --out-dir and exit (nonzero if it still \
+       fails)."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE.repro" ~doc)
+  in
+  let run seed count oracle_names out_dir max_states list replay =
     let module V = B.Verify in
     if list then
       List.iter
         (fun (o : V.Oracle.t) -> Format.printf "%-16s %s@." o.V.Oracle.name o.V.Oracle.doc)
         V.Oracles.all
-    else begin
+    else
+      match replay with
+      | Some path -> (
+          match V.Driver.replay path with
+          | Error e ->
+              Format.eprintf "error: %s@." e;
+              exit 2
+          | Ok (label, V.Oracle.Pass) -> Format.printf "PASS %s@." label
+          | Ok (label, V.Oracle.Fail msg) ->
+              Format.printf "FAIL %s@.%s@." label msg;
+              exit 1)
+      | None -> begin
       let oracles =
         match oracle_names with
         | [] -> V.Oracles.all
@@ -279,7 +297,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ oracle_arg $ out_dir_arg $ verify_max_states_arg
-      $ list_arg)
+      $ list_arg $ replay_arg)
 
 (* ----------------------------------------------------------- experiment *)
 

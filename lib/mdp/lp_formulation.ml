@@ -23,27 +23,47 @@ let add_block lp m ~prefix =
         Array.init (Ctmdp.num_actions m s) (fun a ->
             Lp.add_var ~name:(Printf.sprintf "%sx_%d_%d" prefix s a) lp))
   in
-  (* Balance rows: terms.(s') collects q(s'|s,a) * x(s,a). *)
-  let balance_terms = Array.make n [] in
+  (* Balance rows: row s' collects q(s'|s,a) * x(s,a).  Emitted as flat
+     term arrays (count pass, then fill pass) straight into the model's
+     CSR store — no per-state term lists. *)
+  let dummy = (0., x.(0).(0)) in
+  let counts = Array.make n 0 in
+  for s = 0 to n - 1 do
+    Array.iteri
+      (fun a _ ->
+        let act = Ctmdp.action m s a in
+        if Ctmdp.exit_rate act > 0. then counts.(s) <- counts.(s) + 1;
+        List.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1) act.Ctmdp.transitions)
+      x.(s)
+  done;
+  let balance_terms = Array.map (fun c -> Array.make c dummy) counts in
+  let fill = Array.make n 0 in
+  let push r term =
+    balance_terms.(r).(fill.(r)) <- term;
+    fill.(r) <- fill.(r) + 1
+  in
   for s = 0 to n - 1 do
     Array.iteri
       (fun a v ->
         let act = Ctmdp.action m s a in
         let exit = Ctmdp.exit_rate act in
-        if exit > 0. then balance_terms.(s) <- (-.exit, v) :: balance_terms.(s);
-        List.iter
-          (fun (j, r) -> balance_terms.(j) <- (r, v) :: balance_terms.(j))
-          act.Ctmdp.transitions)
+        if exit > 0. then push s (-.exit, v);
+        List.iter (fun (j, r) -> push j (r, v)) act.Ctmdp.transitions)
       x.(s)
   done;
   (* Drop the last balance row (linearly dependent on the others). *)
   for s = 0 to n - 2 do
-    Lp.add_constraint ~name:(Printf.sprintf "%sbal_%d" prefix s) lp balance_terms.(s) Lp.Eq 0.
+    Lp.add_constraint_a ~name:(Printf.sprintf "%sbal_%d" prefix s) lp balance_terms.(s) Lp.Eq 0.
   done;
-  let normalization =
-    Array.to_list x |> List.concat_map (fun row -> Array.to_list row |> List.map (fun v -> (1., v)))
-  in
-  Lp.add_constraint ~name:(prefix ^ "norm") lp normalization Lp.Eq 1.;
+  let total_actions = Array.fold_left (fun acc row -> acc + Array.length row) 0 x in
+  let normalization = Array.make total_actions dummy in
+  let k = ref 0 in
+  Array.iter
+    (Array.iter (fun v ->
+         normalization.(!k) <- (1., v);
+         incr k))
+    x;
+  Lp.add_constraint_a ~name:(prefix ^ "norm") lp normalization Lp.Eq 1.;
   x
 
 let objective_terms m x =

@@ -1,6 +1,8 @@
 module Mat = Bufsize_numeric.Mat
 module Vec = Bufsize_numeric.Vec
 module Lu = Bufsize_numeric.Lu
+module Sparse = Bufsize_numeric.Sparse
+module Ctmc = Bufsize_prob.Ctmc
 
 type result = {
   policy : Policy.t;
@@ -30,6 +32,65 @@ let evaluate_deterministic m choice =
   let sol = Lu.solve a b in
   let bias = Array.sub sol 0 n in
   (sol.(n), bias)
+
+(* Large-n evaluation without the dense (n+1)^2 system: gain from the
+   induced chain's stationary distribution (itself iterative at this
+   size), bias from the uniformized Poisson-equation sweep
+   h <- h + (Q h + c - g)/Lambda pinned at h(0) = 0 — each sweep is one
+   transposed-free SpMV. *)
+let evaluate_deterministic_iterative ?(tol = 1e-10) ?(max_iter = 200_000) m choice =
+  let n = Ctmdp.num_states m in
+  let costs = Array.init n (fun s -> (Ctmdp.action m s choice.(s)).Ctmdp.cost) in
+  let rates = ref [] in
+  for s = n - 1 downto 0 do
+    List.iter
+      (fun (j, r) -> rates := (s, j, r) :: !rates)
+      (Ctmdp.action m s choice.(s)).Ctmdp.transitions
+  done;
+  let chain = Ctmc.of_rates n !rates in
+  let pi = Ctmc.stationary chain in
+  let gain = ref 0. in
+  for s = 0 to n - 1 do
+    gain := !gain +. (pi.(s) *. costs.(s))
+  done;
+  let g = !gain in
+  let q = Ctmc.sparse_generator chain in
+  let lambda =
+    let m = ref 0. in
+    for s = 0 to n - 1 do
+      m := Float.max !m (Ctmc.exit_rate chain s)
+    done;
+    Float.max (2. *. !m) 1e-300
+  in
+  let scale = 1. +. Float.abs g in
+  let h = Array.make n 0. in
+  let qh = Array.make n 0. in
+  let continue = ref true in
+  let iters = ref 0 in
+  while !continue && !iters < max_iter do
+    Sparse.mul_vec_into q h qh;
+    let residual = ref 0. in
+    for i = 0 to n - 1 do
+      let r = qh.(i) +. costs.(i) -. g in
+      residual := Float.max !residual (Float.abs r);
+      h.(i) <- h.(i) +. (r /. lambda)
+    done;
+    let h0 = h.(0) in
+    for i = 0 to n - 1 do
+      h.(i) <- h.(i) -. h0
+    done;
+    incr iters;
+    if !residual <= tol *. scale then continue := false
+  done;
+  (g, h)
+
+(* Dense elimination up to this many states; beyond it policy evaluation
+   goes through the sparse iterative path and never allocates O(n^2). *)
+let dense_threshold = 512
+
+let evaluate m choice =
+  if Ctmdp.num_states m > dense_threshold then evaluate_deterministic_iterative m choice
+  else evaluate_deterministic m choice
 
 let improvement m bias =
   Array.init (Ctmdp.num_states m) (fun s ->
@@ -62,7 +123,7 @@ let solve ?(max_iter = 1000) ?(tol = 1e-9) ?initial m =
     | None -> Array.make n 0
   in
   let rec loop choice iters =
-    let gain, bias = evaluate_deterministic m choice in
+    let gain, bias = evaluate m choice in
     if iters >= max_iter then
       { policy = Policy.deterministic m choice; choice; gain; bias; iterations = iters; converged = false }
     else begin

@@ -20,9 +20,17 @@ type result = {
 }
 
 val evaluate_deterministic : Ctmdp.t -> int array -> float * Bufsize_numeric.Vec.t
-(** Gain and bias of a deterministic policy (bias normalized at state 0).
+(** Gain and bias of a deterministic policy (bias normalized at state 0)
+    by dense elimination of the (n+1)-unknown evaluation system.
     @raise Bufsize_numeric.Lu.Singular if the induced chain is not
     unichain (the evaluation system is singular). *)
+
+val evaluate_deterministic_iterative :
+  ?tol:float -> ?max_iter:int -> Ctmdp.t -> int array -> float * Bufsize_numeric.Vec.t
+(** Same result through the sparse pipeline: stationary distribution of
+    the induced chain for the gain, uniformized Poisson-equation sweeps
+    for the bias.  O(nnz) per sweep, no dense allocation; used
+    automatically by {!solve} above a few hundred states. *)
 
 val solve : ?max_iter:int -> ?tol:float -> ?initial:int array -> Ctmdp.t -> result
 (** Policy iteration from [initial] (default: first action everywhere).

@@ -4,38 +4,76 @@ type sense = Le | Eq | Ge
 
 type direction = Minimize | Maximize
 
-type row = { terms : (float * var) list; sense : sense; rhs : float; row_name : string }
+(* Growable-array backing store.  Variables and rows are append-only, so
+   everything is held in capacity-doubling arrays: [add_var], [var_name]
+   and [num_constraints] are O(1), and the constraint matrix is stored
+   CSR-style ([row_start] into flat [term_coef]/[term_var] arrays) so the
+   lowering never walks linked lists. *)
 
 type t = {
   lp_name : string;
   dir : direction;
+  (* variables *)
   mutable vars : int;
-  mutable var_names : string list;  (* reversed *)
-  mutable lower_bounds : float list;  (* reversed *)
+  mutable var_names : string array;
+  mutable lower_bounds : float array;
+  (* objective *)
   mutable objective : (float * var) list;
-  mutable rows : row list;  (* reversed *)
+  (* rows, CSR-style *)
+  mutable nrows : int;
+  mutable row_start : int array;  (* length >= nrows + 1 *)
+  mutable row_rhs : float array;
+  mutable row_sense : sense array;
+  mutable row_names : string array;
+  mutable nterms : int;
+  mutable term_coef : float array;
+  mutable term_var : int array;
 }
 
+let grow_float a len = Array.append a (Array.make (Int.max 4 len) 0.)
+let grow_int a len = Array.append a (Array.make (Int.max 4 len) 0)
+let grow_str a len = Array.append a (Array.make (Int.max 4 len) "")
+let grow_sense a len = Array.append a (Array.make (Int.max 4 len) Eq)
+
 let create ?(name = "lp") dir =
-  { lp_name = name; dir; vars = 0; var_names = []; lower_bounds = []; objective = []; rows = [] }
+  {
+    lp_name = name;
+    dir;
+    vars = 0;
+    var_names = Array.make 8 "";
+    lower_bounds = Array.make 8 0.;
+    objective = [];
+    nrows = 0;
+    row_start = Array.make 9 0;
+    row_rhs = Array.make 8 0.;
+    row_sense = Array.make 8 Eq;
+    row_names = Array.make 8 "";
+    nterms = 0;
+    term_coef = Array.make 16 0.;
+    term_var = Array.make 16 0;
+  }
 
 let name t = t.lp_name
 let direction t = t.dir
 
 let add_var ?name ?(lb = 0.) t =
   let v = t.vars in
+  if v = Array.length t.var_names then begin
+    t.var_names <- grow_str t.var_names v;
+    t.lower_bounds <- grow_float t.lower_bounds v
+  end;
   let vname = match name with Some n -> n | None -> Printf.sprintf "x%d" v in
+  t.var_names.(v) <- vname;
+  t.lower_bounds.(v) <- lb;
   t.vars <- v + 1;
-  t.var_names <- vname :: t.var_names;
-  t.lower_bounds <- lb :: t.lower_bounds;
   v
 
 let add_vars ?(prefix = "x") t k =
   Array.init k (fun i -> add_var ~name:(Printf.sprintf "%s%d" prefix i) t)
 
-let var_name t v = List.nth t.var_names (t.vars - 1 - v)
+let var_name t v = t.var_names.(v)
 let num_vars t = t.vars
-let num_constraints t = List.length t.rows
+let num_constraints t = t.nrows
 
 let check_var t v fn =
   if v < 0 || v >= t.vars then invalid_arg (Printf.sprintf "Lp.%s: unknown variable %d" fn v)
@@ -44,12 +82,64 @@ let set_objective t terms =
   List.iter (fun (_, v) -> check_var t v "set_objective") terms;
   t.objective <- terms
 
+let ensure_row_capacity t extra_terms =
+  let r = t.nrows in
+  if r + 1 = Array.length t.row_start then begin
+    t.row_start <- grow_int t.row_start r;
+    t.row_rhs <- grow_float t.row_rhs r;
+    t.row_sense <- grow_sense t.row_sense r;
+    t.row_names <- grow_str t.row_names r
+  end;
+  let need = t.nterms + extra_terms in
+  if need > Array.length t.term_coef then begin
+    let cap = Int.max need (2 * Array.length t.term_coef) in
+    t.term_coef <- Array.append t.term_coef (Array.make (cap - Array.length t.term_coef) 0.);
+    t.term_var <- Array.append t.term_var (Array.make (cap - Array.length t.term_var) 0)
+  end
+
+let finish_row ?name t sense rhs =
+  let r = t.nrows in
+  t.row_rhs.(r) <- rhs;
+  t.row_sense.(r) <- sense;
+  t.row_names.(r) <- (match name with Some n -> n | None -> Printf.sprintf "c%d" r);
+  t.nrows <- r + 1;
+  t.row_start.(r + 1) <- t.nterms
+
 let add_constraint ?name t terms sense rhs =
   List.iter (fun (_, v) -> check_var t v "add_constraint") terms;
-  let row_name =
-    match name with Some n -> n | None -> Printf.sprintf "c%d" (List.length t.rows)
-  in
-  t.rows <- { terms; sense; rhs; row_name } :: t.rows
+  ensure_row_capacity t (List.length terms);
+  List.iter
+    (fun (coef, v) ->
+      t.term_coef.(t.nterms) <- coef;
+      t.term_var.(t.nterms) <- v;
+      t.nterms <- t.nterms + 1)
+    terms;
+  finish_row ?name t sense rhs
+
+let add_constraint_a ?name t terms sense rhs =
+  Array.iter (fun (_, v) -> check_var t v "add_constraint_a") terms;
+  ensure_row_capacity t (Array.length terms);
+  Array.iter
+    (fun (coef, v) ->
+      t.term_coef.(t.nterms) <- coef;
+      t.term_var.(t.nterms) <- v;
+      t.nterms <- t.nterms + 1)
+    terms;
+  finish_row ?name t sense rhs
+
+let iter_row_terms t r f =
+  for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+    f t.term_coef.(k) t.term_var.(k)
+  done
+
+let constraint_matrix t =
+  let triplets = ref [] in
+  for r = t.nrows - 1 downto 0 do
+    for k = t.row_start.(r + 1) - 1 downto t.row_start.(r) do
+      triplets := (r, t.term_var.(k), t.term_coef.(k)) :: !triplets
+    done
+  done;
+  Sparse.of_triplets ~rows:t.nrows ~cols:t.vars !triplets
 
 type solution = {
   objective : float;
@@ -65,12 +155,19 @@ let value sol (v : var) = sol.values.(v)
 (* Lowering.  Structural layout of standard-form columns:
    - for each user variable: one column (shifted by its finite lower bound),
      or two columns (positive/negative parts) when the variable is free;
-   - then one slack (Le) or surplus (Ge) column per inequality row. *)
+   - then one slack (Le) or surplus (Ge) column per inequality row.
+   The same layout drives the dense lowering, the sparse lowering and the
+   solution mapping, so the two engines see the exact same problem. *)
 
 type col_map = Single of int * float (* column, shift *) | Split of int * int
 
-let to_standard t =
-  let lbs = Array.of_list (List.rev t.lower_bounds) in
+type layout = {
+  cols : col_map array;  (* per user variable *)
+  slack_cols : (int * float) option array;  (* per row: column, sign *)
+  lncols : int;
+}
+
+let layout t =
   let next_col = ref 0 in
   let fresh () =
     let c = !next_col in
@@ -78,88 +175,153 @@ let to_standard t =
     c
   in
   let cols =
-    Array.map
-      (fun lb ->
+    Array.init t.vars (fun v ->
+        let lb = t.lower_bounds.(v) in
         if lb = Float.neg_infinity then
           let p = fresh () in
           let m = fresh () in
           Split (p, m)
         else Single (fresh (), lb))
-      lbs
   in
-  let rows = Array.of_list (List.rev t.rows) in
   let slack_cols =
-    Array.map
-      (fun r -> match r.sense with Le -> Some (fresh (), 1.) | Ge -> Some (fresh (), -1.) | Eq -> None)
-      rows
+    Array.init t.nrows (fun r ->
+        match t.row_sense.(r) with
+        | Le -> Some (fresh (), 1.)
+        | Ge -> Some (fresh (), -1.)
+        | Eq -> None)
   in
-  let ncols = !next_col in
-  let nrows = Array.length rows in
-  let a = Array.make (nrows * ncols) 0. in
-  let b = Array.make nrows 0. in
-  let add_entry i col x = a.((i * ncols) + col) <- a.((i * ncols) + col) +. x in
-  Array.iteri
-    (fun i r ->
-      let rhs = ref r.rhs in
-      let add_term (coef, v) =
-        match cols.(v) with
-        | Single (col, shift) ->
-            add_entry i col coef;
-            if shift <> 0. then rhs := !rhs -. (coef *. shift)
-        | Split (p, m) ->
-            add_entry i p coef;
-            add_entry i m (-.coef)
-      in
-      List.iter add_term r.terms;
-      (match slack_cols.(i) with
-      | Some (col, sign) -> add_entry i col sign
-      | None -> ());
-      b.(i) <- !rhs)
-    rows;
-  let c = Array.make ncols 0. in
+  { cols; slack_cols; lncols = !next_col }
+
+let standard_cost t lay =
+  let c = Array.make lay.lncols 0. in
   let obj_sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
   List.iter
     (fun (coef, v) ->
-      match cols.(v) with
+      match lay.cols.(v) with
       | Single (col, _) -> c.(col) <- c.(col) +. (obj_sign *. coef)
       | Split (p, m) ->
           c.(p) <- c.(p) +. (obj_sign *. coef);
           c.(m) <- c.(m) -. (obj_sign *. coef))
     t.objective;
-  { Simplex.nrows; ncols; a; b; c }
+  c
+
+let to_standard t =
+  let lay = layout t in
+  let ncols = lay.lncols in
+  let nrows = t.nrows in
+  let a = Array.make (nrows * ncols) 0. in
+  let b = Array.make nrows 0. in
+  let add_entry i col x = a.((i * ncols) + col) <- a.((i * ncols) + col) +. x in
+  for i = 0 to nrows - 1 do
+    let rhs = ref t.row_rhs.(i) in
+    iter_row_terms t i (fun coef v ->
+        match lay.cols.(v) with
+        | Single (col, shift) ->
+            add_entry i col coef;
+            if shift <> 0. then rhs := !rhs -. (coef *. shift)
+        | Split (p, m) ->
+            add_entry i p coef;
+            add_entry i m (-.coef));
+    (match lay.slack_cols.(i) with
+    | Some (col, sign) -> add_entry i col sign
+    | None -> ());
+    b.(i) <- !rhs
+  done;
+  { Simplex.nrows; ncols; a; b; c = standard_cost t lay }
+
+(* Sparse lowering: the same accumulation order as [to_standard] (a dense
+   scratch row reused across rows), so the standard-form coefficients are
+   bitwise identical to the dense path's — only the storage differs. *)
+let to_standard_sparse t =
+  let lay = layout t in
+  let ncols = lay.lncols in
+  let nrows = t.nrows in
+  let b = Array.make nrows 0. in
+  let scratch = Array.make ncols 0. in
+  let touched = Array.make ncols false in
+  let col_count = Array.make ncols 0 in
+  (* Pass 1: per-row sorted nonzero columns with accumulated values. *)
+  let row_entries =
+    Array.init nrows (fun i ->
+        let used = ref [] in
+        let touch col x =
+          if not touched.(col) then begin
+            touched.(col) <- true;
+            used := col :: !used
+          end;
+          scratch.(col) <- scratch.(col) +. x
+        in
+        let rhs = ref t.row_rhs.(i) in
+        iter_row_terms t i (fun coef v ->
+            match lay.cols.(v) with
+            | Single (col, shift) ->
+                touch col coef;
+                if shift <> 0. then rhs := !rhs -. (coef *. shift)
+            | Split (p, m) ->
+                touch p coef;
+                touch m (-.coef));
+        (match lay.slack_cols.(i) with
+        | Some (col, sign) -> touch col sign
+        | None -> ());
+        b.(i) <- !rhs;
+        let cols_used = List.sort compare !used in
+        let entries =
+          List.filter_map
+            (fun col ->
+              let v = scratch.(col) in
+              if v = 0. then None else Some (col, v))
+            cols_used
+        in
+        List.iter
+          (fun col ->
+            scratch.(col) <- 0.;
+            touched.(col) <- false)
+          !used;
+        List.iter (fun (col, _) -> col_count.(col) <- col_count.(col) + 1) entries;
+        entries)
+  in
+  (* Pass 2: transpose row entries into per-column arrays; scanning rows in
+     order yields strictly increasing row indices within each column. *)
+  let scols = Array.map (fun c -> Array.make c (0, 0.)) col_count in
+  let fill = Array.make ncols 0 in
+  Array.iteri
+    (fun i entries ->
+      List.iter
+        (fun (col, v) ->
+          scols.(col).(fill.(col)) <- (i, v);
+          fill.(col) <- fill.(col) + 1)
+        entries)
+    row_entries;
+  { Simplex_revised.snrows = nrows; sncols = ncols; scols; sb = b; sc = standard_cost t lay }
 
 type engine = Dense | Revised
 
-let solve ?eps ?max_iter ?(engine = Dense) t =
-  let std = to_standard t in
+(* With no explicit engine the model picks for itself: the dense tableau
+   for small instances (battle-tested, and what all published artifacts
+   were produced with), the sparse revised engine once the tableau would
+   be large enough to dominate memory and time. *)
+let auto_engine_threshold = 400
+
+let choose_engine t = function
+  | Some e -> e
+  | None -> if t.nrows > auto_engine_threshold then Revised else Dense
+
+let solve ?eps ?max_iter ?engine t =
   let result =
-    match engine with
-    | Dense -> Simplex.solve ?eps ?max_iter std
-    | Revised -> Simplex_revised.solve ?eps ?max_iter std
+    match choose_engine t engine with
+    | Dense -> Simplex.solve ?eps ?max_iter (to_standard t)
+    | Revised -> Simplex_revised.solve_sparse ?eps ?max_iter (to_standard_sparse t)
   in
   match result with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
   | Simplex.Optimal sol ->
-      let lbs = Array.of_list (List.rev t.lower_bounds) in
-      (* Recompute the column layout to invert the variable mapping. *)
-      let next_col = ref 0 in
-      let fresh () =
-        let c = !next_col in
-        incr next_col;
-        c
-      in
+      let lay = layout t in
       let values =
-        Array.map
-          (fun lb ->
-            if lb = Float.neg_infinity then
-              let p = fresh () in
-              let m = fresh () in
-              sol.Simplex.x.(p) -. sol.Simplex.x.(m)
-            else
-              let col = fresh () in
-              sol.Simplex.x.(col) +. lb)
-          lbs
+        Array.init t.vars (fun v ->
+            match lay.cols.(v) with
+            | Split (p, m) -> sol.Simplex.x.(p) -. sol.Simplex.x.(m)
+            | Single (col, lb) -> sol.Simplex.x.(col) +. lb)
       in
       let obj_sign = match t.dir with Minimize -> 1. | Maximize -> -1. in
       (* Objective constant from lower-bound shifts is reconstructed by

@@ -46,6 +46,15 @@ val add_constraint : ?name:string -> t -> (float * var) list -> sense -> float -
 (** [add_constraint t terms sense rhs] adds [sum terms (sense) rhs].
     Duplicate variables inside [terms] accumulate. *)
 
+val add_constraint_a : ?name:string -> t -> (float * var) array -> sense -> float -> unit
+(** Array flavour of {!add_constraint} — callers that assemble rows in
+    arrays (e.g. CTMDP block emitters) avoid building an intermediate
+    list per row. *)
+
+val constraint_matrix : t -> Sparse.t
+(** The raw user-level constraint matrix (rows x vars, duplicate terms
+    accumulated) as CSR — no slack columns, bound shifts or objective. *)
+
 type solution = {
   objective : float;
   values : float array;  (** indexed by variable *)
@@ -64,11 +73,18 @@ type engine = Dense | Revised
 
 val solve : ?eps:float -> ?max_iter:int -> ?engine:engine -> t -> outcome
 (** Lower to standard form and solve.  [engine] selects the dense tableau
-    ({!Simplex.solve}, the default — battle-tested) or the sparse revised
-    simplex ({!Simplex_revised.solve} — faster on large sparse models such
-    as joint CTMDP occupation LPs). *)
+    ({!Simplex.solve} — battle-tested, O(m*(n+m)) memory) or the sparse
+    revised simplex ({!Simplex_revised.solve_sparse} — lowered via
+    {!to_standard_sparse}, never materializing a dense tableau).  When
+    [engine] is omitted the model chooses: dense below ~400 rows (all
+    published artifact runs stay on it, bit-for-bit), revised above. *)
 
 val to_standard : t -> Simplex.standard
-(** The lowered standard form (exposed for tests and benchmarks). *)
+(** The lowered dense standard form (exposed for tests and benchmarks). *)
+
+val to_standard_sparse : t -> Simplex_revised.sparse_standard
+(** The lowered standard form as sparse columns.  Coefficients are
+    accumulated in the same order as {!to_standard}, so the two lowerings
+    agree bitwise entry-for-entry. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

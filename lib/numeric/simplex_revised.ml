@@ -5,7 +5,20 @@
    - [btran] computes B^-T v by applying the transposed eta inverses
      (newest first) and then the transposed LU solve;
    - each pivot appends one eta; every [refactor_every] pivots the basis is
-     refactorized from scratch and the eta file cleared. *)
+     refactorized from scratch and the eta file cleared.
+
+   The engine itself only ever sees sparse structural columns; the dense
+   [Simplex.standard] entry point converts once up front, so both [solve]
+   and [solve_sparse] share one pivot path (and produce bitwise-identical
+   trajectories on the same problem). *)
+
+type sparse_standard = {
+  snrows : int;
+  sncols : int;
+  scols : (int * float) array array;
+  sb : float array;
+  sc : float array;
+}
 
 type eta = { er : int; ew : float array }
 
@@ -13,6 +26,7 @@ type engine = {
   m : int;
   n : int;
   cols : (int * float) array array;  (* flipped sparse structural columns *)
+  flip : float array;  (* row sign flips making the rhs nonnegative *)
   b_true : float array;  (* flipped true rhs *)
   b_work : float array;  (* flipped perturbed rhs *)
   c : float array;
@@ -24,8 +38,6 @@ type engine = {
   mutable xb : float array;
 }
 
-let flip_sign std i = if std.Simplex.b.(i) < 0. then -1. else 1.
-
 let perturb_b b =
   let scale =
     1e-4 *. Float.max 1. (Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0. b)
@@ -33,26 +45,22 @@ let perturb_b b =
   let m = float_of_int (Int.max 1 (Array.length b)) in
   Array.mapi (fun i bi -> bi +. (scale *. float_of_int (i + 1) /. m)) b
 
-let create ~perturbed std =
-  let m = std.Simplex.nrows and n = std.Simplex.ncols in
+let create ~perturbed sp =
+  let m = sp.snrows and n = sp.sncols in
+  let flip = Array.init m (fun i -> if sp.sb.(i) < 0. then -1. else 1.) in
   let cols =
-    Array.init n (fun j ->
-        let entries = ref [] in
-        for i = m - 1 downto 0 do
-          let v = flip_sign std i *. std.Simplex.a.((i * n) + j) in
-          if v <> 0. then entries := (i, v) :: !entries
-        done;
-        Array.of_list !entries)
+    Array.map (fun col -> Array.map (fun (i, v) -> (i, flip.(i) *. v)) col) sp.scols
   in
-  let b_true = Array.init m (fun i -> flip_sign std i *. std.Simplex.b.(i)) in
+  let b_true = Array.init m (fun i -> flip.(i) *. sp.sb.(i)) in
   let b_work = if perturbed then perturb_b b_true else Array.copy b_true in
   {
     m;
     n;
     cols;
+    flip;
     b_true;
     b_work;
-    c = std.Simplex.c;
+    c = sp.sc;
     basis = Array.init m (fun i -> n + i);
     in_basis = Array.init (n + m) (fun j -> j >= n);
     lu = None;
@@ -276,7 +284,7 @@ let dual_cleanup eng ~refactor_every ~allow ~cost_of =
   end
 
 (* Exact answer from the final basis against the TRUE data. *)
-let refined eng std iterations =
+let refined eng iterations =
   let bmat =
     Mat.init eng.m eng.m (fun i j ->
         let col = eng.basis.(j) in
@@ -315,7 +323,7 @@ let refined eng std iterations =
         done;
         let cb = Array.init eng.m (fun i -> if eng.basis.(i) < eng.n then eng.c.(eng.basis.(i)) else 0.) in
         let y = Lu.solve_transposed f cb in
-        let duals = Array.init eng.m (fun i -> flip_sign std i *. y.(i)) in
+        let duals = Array.init eng.m (fun i -> eng.flip.(i) *. y.(i)) in
         Some
           {
             Simplex.x;
@@ -326,25 +334,24 @@ let refined eng std iterations =
           }
       end
 
-let best_effort eng std iterations =
+let best_effort eng iterations =
   let x = Array.make eng.n 0. in
   Array.iteri (fun j v -> if eng.basis.(j) < eng.n then x.(eng.basis.(j)) <- Float.max 0. v) eng.xb;
   let objective = ref 0. in
   for j = 0 to eng.n - 1 do
     objective := !objective +. (eng.c.(j) *. x.(j))
   done;
-  ignore std;
   { Simplex.x; objective = !objective; duals = Array.make eng.m Float.nan; basis = Array.copy eng.basis; iterations }
 
-let solve_once ~eps ~max_iter ~refactor_every ~perturbed std =
-  let eng = create ~perturbed std in
+let solve_once ~eps ~max_iter ~refactor_every ~perturbed sp =
+  let eng = create ~perturbed sp in
   let allow_all j = j < eng.n + eng.m in
   let phase1_cost j = if j < eng.n then 0. else 1. in
   let outcome1, iters1 =
     run_phase eng ~eps ~max_iter ~refactor_every ~allow:allow_all ~cost_of:phase1_cost 0
   in
   (* Recompute the phase-1 objective from a clean refactorization. *)
-  if not (refactorize eng) then `Drifted (best_effort eng std iters1)
+  if not (refactorize eng) then `Drifted (best_effort eng iters1)
   else begin
     let phase1_obj =
       let acc = ref 0. in
@@ -364,13 +371,13 @@ let solve_once ~eps ~max_iter ~refactor_every ~perturbed std =
         in
         match outcome2 with
         | Unbounded_phase -> `Unbounded
-        | Singular_basis -> `Drifted (best_effort eng std iters2)
+        | Singular_basis -> `Drifted (best_effort eng iters2)
         | Iteration_limit | Optimal_phase -> (
             (* Remove the perturbation exactly before reading the answer. *)
             if perturbed then dual_cleanup eng ~refactor_every ~allow:structural ~cost_of:phase2_cost;
-            match refined eng std iters2 with
+            match refined eng iters2 with
             | Some sol -> `Optimal sol
-            | None -> `Drifted (best_effort eng std iters2)))
+            | None -> `Drifted (best_effort eng iters2)))
   end
 
 let debug_log label outcome =
@@ -383,21 +390,31 @@ let debug_log label outcome =
       | `Stalled -> "stalled"
       | `Drifted _ -> "drifted")
 
-let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(refactor_every = 64) std =
-  if Array.length std.Simplex.a <> std.Simplex.nrows * std.Simplex.ncols then
-    invalid_arg "Simplex_revised.solve: matrix size mismatch";
-  if Array.length std.Simplex.b <> std.Simplex.nrows then
-    invalid_arg "Simplex_revised.solve: rhs size mismatch";
-  if Array.length std.Simplex.c <> std.Simplex.ncols then
-    invalid_arg "Simplex_revised.solve: cost size mismatch";
+let solve_sparse ?(eps = 1e-9) ?(max_iter = 200_000) ?(refactor_every = 64) sp =
+  if Array.length sp.scols <> sp.sncols then
+    invalid_arg "Simplex_revised.solve_sparse: column count mismatch";
+  if Array.length sp.sb <> sp.snrows then
+    invalid_arg "Simplex_revised.solve_sparse: rhs size mismatch";
+  if Array.length sp.sc <> sp.sncols then
+    invalid_arg "Simplex_revised.solve_sparse: cost size mismatch";
+  Array.iter
+    (fun col ->
+      let prev = ref (-1) in
+      Array.iter
+        (fun (i, _) ->
+          if i <= !prev || i < 0 || i >= sp.snrows then
+            invalid_arg "Simplex_revised.solve_sparse: column rows not strictly increasing";
+          prev := i)
+        col)
+    sp.scols;
   let unperturbed_retry () =
-    match solve_once ~eps ~max_iter ~refactor_every ~perturbed:false std with
+    match solve_once ~eps ~max_iter ~refactor_every ~perturbed:false sp with
     | `Optimal sol -> Simplex.Optimal sol
     | `Unbounded -> Simplex.Unbounded
     | `Infeasible | `Stalled -> Simplex.Infeasible
     | `Drifted fallback -> Simplex.Optimal fallback
   in
-  let first = solve_once ~eps ~max_iter ~refactor_every ~perturbed:true std in
+  let first = solve_once ~eps ~max_iter ~refactor_every ~perturbed:true sp in
   debug_log "first run" first;
   match first with
   | `Optimal sol -> Simplex.Optimal sol
@@ -407,9 +424,31 @@ let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(refactor_every = 64) std =
       (* Retry with a much shorter eta file before settling for less. *)
       match
         solve_once ~eps ~max_iter ~refactor_every:(Int.max 8 (refactor_every / 8))
-          ~perturbed:true std
+          ~perturbed:true sp
       with
       | `Optimal sol -> Simplex.Optimal sol
       | `Unbounded -> Simplex.Unbounded
       | `Infeasible | `Stalled -> unperturbed_retry ()
       | `Drifted fallback -> Simplex.Optimal fallback)
+
+let sparse_of_standard std =
+  let m = std.Simplex.nrows and n = std.Simplex.ncols in
+  let scols =
+    Array.init n (fun j ->
+        let entries = ref [] in
+        for i = m - 1 downto 0 do
+          let v = std.Simplex.a.((i * n) + j) in
+          if v <> 0. then entries := (i, v) :: !entries
+        done;
+        Array.of_list !entries)
+  in
+  { snrows = m; sncols = n; scols; sb = std.Simplex.b; sc = std.Simplex.c }
+
+let solve ?eps ?max_iter ?refactor_every std =
+  if Array.length std.Simplex.a <> std.Simplex.nrows * std.Simplex.ncols then
+    invalid_arg "Simplex_revised.solve: matrix size mismatch";
+  if Array.length std.Simplex.b <> std.Simplex.nrows then
+    invalid_arg "Simplex_revised.solve: rhs size mismatch";
+  if Array.length std.Simplex.c <> std.Simplex.ncols then
+    invalid_arg "Simplex_revised.solve: cost size mismatch";
+  solve_sparse ?eps ?max_iter ?refactor_every (sparse_of_standard std)

@@ -21,6 +21,28 @@
     Cross-validated against {!Simplex} by the test-suite on random LPs and
     on CTMDP instances. *)
 
+type sparse_standard = {
+  snrows : int;
+  sncols : int;
+  scols : (int * float) array array;
+      (** structural columns; [(row, value)] pairs with strictly
+          increasing rows *)
+  sb : float array;
+  sc : float array;
+}
+(** Standard form held column-wise and sparse — the native input of this
+    engine.  {!solve} on a dense {!Simplex.standard} converts to this
+    once up front; large models should lower straight to it
+    ({!Lp.to_standard_sparse}) and never materialize the dense matrix. *)
+
+val solve_sparse :
+  ?eps:float -> ?max_iter:int -> ?refactor_every:int -> sparse_standard -> Simplex.result
+(** Solve from the sparse columns directly.  Identical pivot trajectory to
+    {!solve} on the equivalent dense input. *)
+
+val sparse_of_standard : Simplex.standard -> sparse_standard
+(** Column extraction from a dense standard form (zeros dropped). *)
+
 val solve :
   ?eps:float -> ?max_iter:int -> ?refactor_every:int -> Simplex.standard -> Simplex.result
 (** [solve std] with [eps] (default [1e-9]) the reduced-cost tolerance,

@@ -1,0 +1,259 @@
+(* Compressed sparse row matrices.  See sparse.mli for the contract. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let nnz t = t.row_ptr.(t.rows)
+let row_nnz t i = t.row_ptr.(i + 1) - t.row_ptr.(i)
+
+let of_triplets ~rows ~cols entries =
+  if rows < 0 || cols < 0 then
+    invalid_arg "Sparse.of_triplets: negative dimensions";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Sparse.of_triplets: entry (%d, %d) out of %dx%d" i j
+             rows cols))
+    entries;
+  (* Accumulate duplicates per row in list order so float sums are
+     reproducible regardless of how callers interleave rows. *)
+  let row_entries = Array.make rows [] in
+  List.iter
+    (fun (i, j, v) -> row_entries.(i) <- (j, v) :: row_entries.(i))
+    entries;
+  let row_ptr = Array.make (rows + 1) 0 in
+  let acc = Hashtbl.create 16 in
+  let per_row =
+    Array.init rows (fun i ->
+        let elts = List.rev row_entries.(i) in
+        Hashtbl.reset acc;
+        let order = ref [] in
+        List.iter
+          (fun (j, v) ->
+            match Hashtbl.find_opt acc j with
+            | None ->
+                Hashtbl.add acc j v;
+                order := j :: !order
+            | Some prev -> Hashtbl.replace acc j (prev +. v))
+          elts;
+        let cols_used = List.sort compare (List.rev !order) in
+        let kept =
+          List.filter_map
+            (fun j ->
+              let v = Hashtbl.find acc j in
+              if v = 0. then None else Some (j, v))
+            cols_used
+        in
+        row_ptr.(i + 1) <- List.length kept;
+        kept)
+  in
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + row_ptr.(i + 1)
+  done;
+  let n = row_ptr.(rows) in
+  let col_idx = Array.make n 0 and values = Array.make n 0. in
+  Array.iteri
+    (fun i kept ->
+      let k = ref row_ptr.(i) in
+      List.iter
+        (fun (j, v) ->
+          col_idx.(!k) <- j;
+          values.(!k) <- v;
+          incr k)
+        kept)
+    per_row;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_rows ~rows ~cols row_data =
+  if Array.length row_data <> rows then
+    invalid_arg "Sparse.of_rows: row count mismatch";
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + Array.length row_data.(i)
+  done;
+  let n = row_ptr.(rows) in
+  let col_idx = Array.make n 0 and values = Array.make n 0. in
+  for i = 0 to rows - 1 do
+    let base = row_ptr.(i) in
+    let prev = ref (-1) in
+    Array.iteri
+      (fun k (j, v) ->
+        if j <= !prev || j < 0 || j >= cols then
+          invalid_arg "Sparse.of_rows: columns not strictly increasing";
+        prev := j;
+        col_idx.(base + k) <- j;
+        values.(base + k) <- v)
+      row_data.(i)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_dense (m : Mat.t) =
+  let rows = m.Mat.rows and cols = m.Mat.cols in
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    let c = ref 0 in
+    for j = 0 to cols - 1 do
+      if Mat.get m i j <> 0. then incr c
+    done;
+    row_ptr.(i + 1) <- row_ptr.(i) + !c
+  done;
+  let n = row_ptr.(rows) in
+  let col_idx = Array.make n 0 and values = Array.make n 0. in
+  let k = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = Mat.get m i j in
+      if v <> 0. then begin
+        col_idx.(!k) <- j;
+        values.(!k) <- v;
+        incr k
+      end
+    done
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let to_dense t =
+  let m = Mat.zeros t.rows t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Mat.set m i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Sparse.get: index out of range";
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let res = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      res := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let iter_row t i f =
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let fold_row t i f init =
+  let acc = ref init in
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    acc := f !acc t.col_idx.(k) t.values.(k)
+  done;
+  !acc
+
+let iter t f =
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      f i t.col_idx.(k) t.values.(k)
+    done
+  done
+
+let mul_vec_into t x y =
+  if Array.length x <> t.cols then invalid_arg "Sparse.mul_vec: size mismatch";
+  if Array.length y <> t.rows then invalid_arg "Sparse.mul_vec: out mismatch";
+  for i = 0 to t.rows - 1 do
+    let s = ref 0. in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      s := !s +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(i) <- !s
+  done
+
+let mul_vec t x =
+  let y = Array.make t.rows 0. in
+  mul_vec_into t x y;
+  y
+
+let mul_vec_t_into t x y =
+  if Array.length x <> t.rows then
+    invalid_arg "Sparse.mul_vec_t: size mismatch";
+  if Array.length y <> t.cols then invalid_arg "Sparse.mul_vec_t: out mismatch";
+  Array.fill y 0 (Array.length y) 0.;
+  for i = 0 to t.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = t.col_idx.(k) in
+        y.(j) <- y.(j) +. (t.values.(k) *. xi)
+      done
+  done
+
+let mul_vec_t t x =
+  let y = Array.make t.cols 0. in
+  mul_vec_t_into t x y;
+  y
+
+let scale a t = { t with values = Array.map (fun v -> a *. v) t.values }
+let map f t = { t with values = Array.map f t.values }
+
+let transpose t =
+  let n = nnz t in
+  let row_ptr = Array.make (t.cols + 1) 0 in
+  for k = 0 to n - 1 do
+    let j = t.col_idx.(k) in
+    row_ptr.(j + 1) <- row_ptr.(j + 1) + 1
+  done;
+  for j = 0 to t.cols - 1 do
+    row_ptr.(j + 1) <- row_ptr.(j) + row_ptr.(j + 1)
+  done;
+  let fill = Array.copy row_ptr in
+  let col_idx = Array.make n 0 and values = Array.make n 0. in
+  (* Row-major scan emits each transposed row's entries in increasing
+     original-row order, i.e. increasing column order of the result. *)
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      let j = t.col_idx.(k) in
+      let pos = fill.(j) in
+      col_idx.(pos) <- i;
+      values.(pos) <- t.values.(k);
+      fill.(j) <- pos + 1
+    done
+  done;
+  { rows = t.cols; cols = t.rows; row_ptr; col_idx; values }
+
+let row_sums t =
+  let s = Array.make t.rows 0. in
+  for i = 0 to t.rows - 1 do
+    let acc = ref 0. in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. t.values.(k)
+    done;
+    s.(i) <- !acc
+  done;
+  s
+
+let approx_equal ?(tol = 1e-12) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to a.cols - 1 do
+      if Float.abs (get a i j -. get b i j) > tol then ok := false
+    done
+  done;
+  !ok
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>sparse %dx%d (nnz %d)" t.rows t.cols (nnz t);
+  for i = 0 to t.rows - 1 do
+    if row_nnz t i > 0 then begin
+      Format.fprintf fmt "@,row %d:" i;
+      iter_row t i (fun j v -> Format.fprintf fmt " (%d, %g)" j v)
+    end
+  done;
+  Format.fprintf fmt "@]"

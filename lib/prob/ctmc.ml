@@ -1,27 +1,51 @@
 module Mat = Bufsize_numeric.Mat
 module Vec = Bufsize_numeric.Vec
 module Lu = Bufsize_numeric.Lu
+module Sparse = Bufsize_numeric.Sparse
 
-type t = { q : Mat.t }
+(* The generator is held sparse (CSR, diagonal included): buffer-occupancy
+   CTMDPs have a handful of arrival/service neighbours per state, so the
+   O(n^2) dense matrix was the memory wall for everything downstream.
+   Dense matrices only appear in the small-n direct solves and in the
+   explicitly dense accessors ([generator], [uniformize]). *)
+
+type t = {
+  n : int;
+  q : Sparse.t;  (* full generator, diagonal included *)
+  exit : float array;  (* exit.(i) = -Q_ii *)
+}
+
+(* Largest n solved by direct dense elimination; beyond it the stationary
+   distribution comes from uniformized power iteration (sparse, O(nnz) per
+   sweep) and no dense n x n matrix is ever allocated. *)
+let dense_threshold = 512
 
 let of_rates n rates =
   if n <= 0 then invalid_arg "Ctmc.of_rates: need at least one state";
-  let q = Mat.zeros n n in
   List.iter
     (fun (i, j, r) ->
       if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Ctmc.of_rates: state out of range";
       if i = j then invalid_arg "Ctmc.of_rates: self loop";
-      if r < 0. then invalid_arg "Ctmc.of_rates: negative rate";
-      Mat.update q i j (fun x -> x +. r))
+      if r < 0. then invalid_arg "Ctmc.of_rates: negative rate")
     rates;
+  let off = Sparse.of_triplets ~rows:n ~cols:n rates in
+  (* Diagonal = minus the (column-ascending) off-diagonal row sum — the
+     same accumulation order the dense representation used. *)
+  let exit = Array.make n 0. in
   for i = 0 to n - 1 do
     let out = ref 0. in
-    for j = 0 to n - 1 do
-      if j <> i then out := !out +. Mat.get q i j
-    done;
-    Mat.set q i i (-. !out)
+    Sparse.iter_row off i (fun j v -> if j <> i then out := !out +. v);
+    exit.(i) <- !out
   done;
-  { q }
+  let diag = ref [] in
+  for i = n - 1 downto 0 do
+    if exit.(i) <> 0. then diag := (i, i, -.exit.(i)) :: !diag
+  done;
+  let q =
+    Sparse.of_triplets ~rows:n ~cols:n
+      (List.rev_append (List.rev rates) !diag)
+  in
+  { n; q; exit }
 
 let of_generator m =
   if m.Mat.rows <> m.Mat.cols then invalid_arg "Ctmc.of_generator: not square";
@@ -35,20 +59,39 @@ let of_generator m =
     done;
     if Float.abs !sum > 1e-8 then invalid_arg "Ctmc.of_generator: row does not sum to zero"
   done;
-  { q = Mat.copy m }
+  let q = Sparse.of_dense m in
+  let exit = Array.init n (fun i -> -.Mat.get m i i) in
+  { n; q; exit }
 
-let dim t = t.q.Mat.rows
-let generator t = Mat.copy t.q
-let rate t i j = Mat.get t.q i j
-let exit_rate t i = -.Mat.get t.q i i
+let of_sparse_generator q =
+  if q.Sparse.rows <> q.Sparse.cols then invalid_arg "Ctmc.of_sparse_generator: not square";
+  let n = q.Sparse.rows in
+  let exit = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let sum = ref 0. in
+    Sparse.iter_row q i (fun j v ->
+        if i <> j && v < 0. then
+          invalid_arg "Ctmc.of_sparse_generator: negative off-diagonal";
+        if i = j then exit.(i) <- -.v;
+        sum := !sum +. v);
+    if Float.abs !sum > 1e-8 then
+      invalid_arg "Ctmc.of_sparse_generator: row does not sum to zero"
+  done;
+  { n; q; exit }
 
-let stationary t =
+let dim t = t.n
+let generator t = Sparse.to_dense t.q
+let sparse_generator t = t.q
+let rate t i j = Sparse.get t.q i j
+let exit_rate t i = t.exit.(i)
+
+let stationary_dense t =
   (* Solve pi Q = 0 with the last balance equation replaced by sum pi = 1:
      transpose to Q' pi' = 0 and overwrite the final row with ones. *)
-  let n = dim t in
+  let n = t.n in
   if n = 1 then [| 1. |]
   else begin
-    let a = Mat.transpose t.q in
+    let a = Mat.transpose (Sparse.to_dense t.q) in
     for j = 0 to n - 1 do
       Mat.set a (n - 1) j 1.
     done;
@@ -61,16 +104,96 @@ let stationary t =
     Array.map (fun p -> p /. total) pi
   end
 
+(* Grassmann–Taksar–Heyman: subtraction-free state elimination, the
+   numerically preferred direct method.  Works on the off-diagonal rate
+   matrix (GTH is row-scale invariant, so rates need no normalization).
+   Returns [None] when an eliminated state has no transition into the
+   remaining block (chain not irreducible) — callers fall back to the LU
+   path, which picks one closed class like the historical behavior. *)
+let stationary_gth t =
+  let n = t.n in
+  if n = 1 then Some [| 1. |]
+  else begin
+    let w = Array.make_matrix n n 0. in
+    Sparse.iter t.q (fun i j v -> if i <> j then w.(i).(j) <- v);
+    let exception Reducible in
+    try
+      for k = n - 1 downto 1 do
+        let s = ref 0. in
+        for j = 0 to k - 1 do
+          s := !s +. w.(k).(j)
+        done;
+        if !s <= 0. then raise Reducible;
+        for i = 0 to k - 1 do
+          w.(i).(k) <- w.(i).(k) /. !s
+        done;
+        for i = 0 to k - 1 do
+          let wik = w.(i).(k) in
+          if wik <> 0. then
+            for j = 0 to k - 1 do
+              if j <> i then w.(i).(j) <- w.(i).(j) +. (wik *. w.(k).(j))
+            done
+        done
+      done;
+      let pi = Array.make n 0. in
+      pi.(0) <- 1.;
+      for k = 1 to n - 1 do
+        let acc = ref 0. in
+        for i = 0 to k - 1 do
+          acc := !acc +. (pi.(i) *. w.(i).(k))
+        done;
+        pi.(k) <- acc.contents
+      done;
+      let total = Vec.sum pi in
+      Some (Array.map (fun p -> p /. total) pi)
+    with Reducible -> None
+  end
+
+let max_exit_rate t = Array.fold_left Float.max 0. t.exit
+
+(* Uniformized power iteration: pi <- pi P with P = I + Q/Lambda, applied
+   through the transposed SpMV so no matrix beyond the generator is ever
+   formed.  Lambda = 2 max_i exit_i keeps every diagonal of P at >= 1/2
+   (strong aperiodicity) — the near-minimal rate used by [uniformize]
+   would make P almost periodic on symmetric chains and stall convergence. *)
+let stationary_iterative ?(tol = 1e-13) ?(max_iter = 200_000) t =
+  let n = t.n in
+  if n = 1 then [| 1. |]
+  else begin
+    let lambda = Float.max (2. *. max_exit_rate t) 1e-300 in
+    let pi = Array.make n (1. /. float_of_int n) in
+    let qt_pi = Array.make n 0. in
+    let continue = ref true in
+    let iters = ref 0 in
+    while !continue && !iters < max_iter do
+      Sparse.mul_vec_t_into t.q pi qt_pi;
+      let delta = ref 0. in
+      for i = 0 to n - 1 do
+        let step = qt_pi.(i) /. lambda in
+        pi.(i) <- pi.(i) +. step;
+        delta := Float.max !delta (Float.abs step)
+      done;
+      incr iters;
+      if !delta < tol then continue := false
+    done;
+    let pi = Array.map (fun p -> Float.max 0. p) pi in
+    let total = Vec.sum pi in
+    Array.map (fun p -> p /. total) pi
+  end
+
+let stationary t =
+  if t.n <= dense_threshold then
+    match stationary_gth t with Some pi -> pi | None -> stationary_dense t
+  else stationary_iterative t
+
 let is_irreducible t =
-  let n = dim t in
+  let n = t.n in
   let reaches from =
     let seen = Array.make n false in
     let rec dfs i =
       if not seen.(i) then begin
         seen.(i) <- true;
-        for j = 0 to n - 1 do
-          if j <> i && Mat.get t.q i j > 0. then dfs j
-        done
+        Sparse.iter_row t.q i (fun j v -> if j <> i && v > 0. then dfs j)
       end
     in
     dfs from;
@@ -79,32 +202,26 @@ let is_irreducible t =
   let rec check i = i >= n || (reaches i && check (i + 1)) in
   check 0
 
-let uniformization_rate t =
-  let n = dim t in
-  let m = ref 0. in
-  for i = 0 to n - 1 do
-    m := Float.max !m (exit_rate t i)
-  done;
-  (!m *. 1.0000001) +. 1e-12
+let uniformization_rate t = (max_exit_rate t *. 1.0000001) +. 1e-12
 
 let uniformize ?rate t =
   let lambda = match rate with Some r -> r | None -> uniformization_rate t in
-  let n = dim t in
-  Mat.init n n (fun i j ->
-      let base = if i = j then 1. else 0. in
-      base +. (Mat.get t.q i j /. lambda))
+  let n = t.n in
+  let p = Mat.identity n in
+  Sparse.iter t.q (fun i j v -> Mat.update p i j (fun base -> base +. (v /. lambda)));
+  p
 
 let transient t pi0 horizon =
   if horizon < 0. then invalid_arg "Ctmc.transient: negative horizon";
-  let n = dim t in
+  let n = t.n in
   if Vec.dim pi0 <> n then invalid_arg "Ctmc.transient: distribution size mismatch";
   let lambda = uniformization_rate t in
-  let p = uniformize ~rate:lambda t in
-  let pt = Mat.transpose p in
   let mean = lambda *. horizon in
-  (* Truncate the Poisson sum when the accumulated mass is within 1e-12. *)
+  (* Truncate the Poisson sum when the accumulated mass is within 1e-12;
+     term <- term P' computed sparsely as term + (Q' term)/lambda. *)
   let result = Vec.zeros n in
   let term = ref (Vec.copy pi0) in
+  let qt_term = Array.make n 0. in
   let weight = ref (exp (-.mean)) in
   let accumulated = ref 0. in
   let k = ref 0 in
@@ -112,7 +229,12 @@ let transient t pi0 horizon =
   while !accumulated < 1. -. 1e-12 && !k <= max_terms do
     Vec.axpy !weight !term result;
     accumulated := !accumulated +. !weight;
-    term := Mat.mul_vec pt !term;
+    Sparse.mul_vec_t_into t.q !term qt_term;
+    let next = Array.make n 0. in
+    for i = 0 to n - 1 do
+      next.(i) <- !term.(i) +. (qt_term.(i) /. lambda)
+    done;
+    term := next;
     incr k;
     weight := !weight *. mean /. float_of_int !k
   done;

@@ -4,7 +4,14 @@
     are nonnegative transition rates, each diagonal entry is minus its row
     sum.  The stationary distribution solves [pi Q = 0], [sum pi = 1]; it is
     the analytic backbone of policy evaluation and of the translation from
-    CTMDP policies to buffer occupancy distributions. *)
+    CTMDP policies to buffer occupancy distributions.
+
+    The generator is stored sparse (CSR) — buffer-occupancy chains have
+    O(1) neighbours per state.  Stationary solves dispatch on size: GTH
+    elimination (subtraction-free, with an LU fallback for reducible
+    chains) up to a few hundred states, uniformized power iteration via
+    transposed SpMV beyond that, so no O(n^2) matrix is ever allocated on
+    the large-instance path. *)
 
 type t
 (** A validated generator. *)
@@ -19,10 +26,18 @@ val of_generator : Bufsize_numeric.Mat.t -> t
 (** Validates an explicit generator matrix: square, nonnegative
     off-diagonal, rows summing to (numerically) zero. *)
 
+val of_sparse_generator : Bufsize_numeric.Sparse.t -> t
+(** Same validation as {!of_generator}, from CSR — the scalable entry
+    point (never densifies). *)
+
 val dim : t -> int
 
 val generator : t -> Bufsize_numeric.Mat.t
-(** A copy of the generator matrix. *)
+(** A dense copy of the generator matrix (small chains / tests only —
+    allocates O(n^2)). *)
+
+val sparse_generator : t -> Bufsize_numeric.Sparse.t
+(** The generator as stored, diagonal included.  O(1). *)
 
 val rate : t -> int -> int -> float
 (** [rate t i j] with [i <> j] is the transition rate. *)
@@ -31,11 +46,27 @@ val exit_rate : t -> int -> float
 (** Total rate out of a state ([-Q_ii]). *)
 
 val stationary : t -> Bufsize_numeric.Vec.t
-(** Stationary distribution.  Solves the balance equations with one
-    replaced by the normalization row (LU).  For chains that are not
-    irreducible the result is a stationary distribution of one closed
-    class as selected by the linear solve.
+(** Stationary distribution.  Small chains use GTH elimination (falling
+    back to the LU balance-equation solve when the chain is reducible —
+    the result is then a stationary distribution of one closed class as
+    selected by the linear solve); large chains use {!stationary_iterative}.
     @raise Bufsize_numeric.Lu.Singular on pathological generators. *)
+
+val stationary_dense : t -> Bufsize_numeric.Vec.t
+(** The direct LU solve on the dense balance equations, at any size
+    (allocates O(n^2)) — the historical semantics, kept as the reducible
+    fallback and for cross-checks. *)
+
+val stationary_gth : t -> Bufsize_numeric.Vec.t option
+(** Subtraction-free GTH state elimination; [None] when the chain is not
+    irreducible enough for the elimination order (caller should fall back
+    to {!stationary_dense}).  Allocates O(n^2) work space. *)
+
+val stationary_iterative :
+  ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t
+(** Uniformized power iteration through transposed SpMV — O(nnz) per
+    sweep, no dense allocation.  [tol] (default [1e-13]) bounds the
+    per-sweep max update; [max_iter] defaults to [200_000]. *)
 
 val is_irreducible : t -> bool
 (** Graph check: every state reaches every other along positive rates. *)

@@ -1,8 +1,14 @@
 module Mat = Bufsize_numeric.Mat
 module Vec = Bufsize_numeric.Vec
 module Lu = Bufsize_numeric.Lu
+module Sparse = Bufsize_numeric.Sparse
 
-type t = { p : Mat.t }
+(* Sparse transition matrix, mirroring Ctmc: direct dense solve for small
+   chains, damped power iteration through transposed SpMV beyond. *)
+
+type t = { n : int; p : Sparse.t }
+
+let dense_threshold = 512
 
 let of_matrix m =
   if m.Mat.rows <> m.Mat.cols then invalid_arg "Dtmc.of_matrix: not square";
@@ -15,29 +21,35 @@ let of_matrix m =
     done;
     if Float.abs (!sum -. 1.) > 1e-8 then invalid_arg "Dtmc.of_matrix: row does not sum to one"
   done;
-  { p = Mat.copy m }
+  { n = m.Mat.rows; p = Sparse.of_dense m }
 
 let embedded_of_ctmc c =
   let n = Ctmc.dim c in
-  let p =
-    Mat.init n n (fun i j ->
-        let exit = Ctmc.exit_rate c i in
-        if exit <= 0. then if i = j then 1. else 0.
-        else if i = j then 0.
-        else Ctmc.rate c i j /. exit)
-  in
-  { p }
+  let entries = ref [] in
+  for i = n - 1 downto 0 do
+    let exit = Ctmc.exit_rate c i in
+    if exit <= 0. then entries := (i, i, 1.) :: !entries
+    else
+      (* Collect the off-diagonal row, normalized by the exit rate. *)
+      let row = ref [] in
+      Sparse.iter_row (Ctmc.sparse_generator c) i (fun j v ->
+          if j <> i then row := (i, j, v /. exit) :: !row);
+      entries := List.rev_append !row !entries
+  done;
+  { n; p = Sparse.of_triplets ~rows:n ~cols:n !entries }
 
-let dim t = t.p.Mat.rows
-let matrix t = Mat.copy t.p
-let step t pi = Mat.mul_vec (Mat.transpose t.p) pi
+let dim t = t.n
+let matrix t = Sparse.to_dense t.p
+let sparse_matrix t = t.p
+let step t pi = Sparse.mul_vec_t t.p pi
 
-let stationary t =
-  let n = dim t in
+let stationary_dense t =
+  let n = t.n in
   if n = 1 then [| 1. |]
   else begin
     (* (P^T - I) pi = 0 with the last row replaced by normalization. *)
-    let a = Mat.init n n (fun i j -> Mat.get t.p j i -. if i = j then 1. else 0.) in
+    let p = Sparse.to_dense t.p in
+    let a = Mat.init n n (fun i j -> Mat.get p j i -. if i = j then 1. else 0.) in
     for j = 0 to n - 1 do
       Mat.set a (n - 1) j 1.
     done;
@@ -49,11 +61,40 @@ let stationary t =
     Array.map (fun p -> p /. total) pi
   end
 
+(* pi <- (pi + pi P)/2: the lazy chain has diagonal >= 1/2, so the
+   iteration converges even on periodic chains and shares P's stationary
+   distribution. *)
+let stationary_iterative ?(tol = 1e-13) ?(max_iter = 200_000) t =
+  let n = t.n in
+  if n = 1 then [| 1. |]
+  else begin
+    let pi = Array.make n (1. /. float_of_int n) in
+    let pt_pi = Array.make n 0. in
+    let continue = ref true in
+    let iters = ref 0 in
+    while !continue && !iters < max_iter do
+      Sparse.mul_vec_t_into t.p pi pt_pi;
+      let delta = ref 0. in
+      for i = 0 to n - 1 do
+        let next = 0.5 *. (pi.(i) +. pt_pi.(i)) in
+        delta := Float.max !delta (Float.abs (next -. pi.(i)));
+        pi.(i) <- next
+      done;
+      incr iters;
+      if !delta < tol then continue := false
+    done;
+    let pi = Array.map (Float.max 0.) pi in
+    let total = Vec.sum pi in
+    Array.map (fun p -> p /. total) pi
+  end
+
+let stationary t =
+  if t.n <= dense_threshold then stationary_dense t else stationary_iterative t
+
 let power_stationary ?(tol = 1e-12) ?(max_iter = 100_000) t =
-  let n = dim t in
-  let pt = Mat.transpose t.p in
+  let n = t.n in
   let rec loop pi iters =
-    let next = Mat.mul_vec pt pi in
+    let next = Sparse.mul_vec_t t.p pi in
     if Vec.norm_inf (Vec.sub next pi) < tol || iters >= max_iter then next
     else loop next (iters + 1)
   in

@@ -16,13 +16,26 @@ val embedded_of_ctmc : Ctmc.t -> t
 val dim : t -> int
 
 val matrix : t -> Bufsize_numeric.Mat.t
+(** Dense copy (allocates O(n^2); tests and small chains only). *)
+
+val sparse_matrix : t -> Bufsize_numeric.Sparse.t
+(** The transition matrix as stored.  O(1). *)
 
 val step : t -> Bufsize_numeric.Vec.t -> Bufsize_numeric.Vec.t
-(** One transition: [pi P]. *)
+(** One transition: [pi P], via transposed SpMV. *)
 
 val stationary : t -> Bufsize_numeric.Vec.t
-(** Solves [pi P = pi], [sum pi = 1] by LU on [(P' - I)] with a
-    normalization row. *)
+(** For small chains: solves [pi P = pi], [sum pi = 1] by LU on
+    [(P' - I)] with a normalization row.  Large chains use
+    {!stationary_iterative}. *)
+
+val stationary_dense : t -> Bufsize_numeric.Vec.t
+(** The direct LU solve at any size (allocates O(n^2)). *)
+
+val stationary_iterative :
+  ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t
+(** Damped (lazy-chain) power iteration [pi <- (pi + pi P)/2] through
+    transposed SpMV; converges on periodic chains too. *)
 
 val power_stationary : ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t
 (** Power iteration from the uniform distribution; used in tests as an

@@ -116,3 +116,13 @@ let pp_summary ppf s =
     s.oracles;
   if s.total_failures = 0 then Format.fprintf ppf "all oracles passed@]"
   else Format.fprintf ppf "%d failure(s)@]" s.total_failures
+
+let replay path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Result.map
+        (fun case -> (case.Oracle.label, Oracle.run_check case))
+        (Oracles.case_of_repro text)

@@ -50,3 +50,8 @@ val run :
 val passed : summary -> bool
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val replay : string -> (string * Oracle.verdict, string) result
+(** [replay path] re-runs the check of a [.repro] file previously written
+    by {!run} with [out_dir] — [Ok (label, verdict)], or [Error] when the
+    file cannot be read or parsed.  Powers [bufsize verify --replay]. *)

@@ -200,6 +200,15 @@ let ctmdp_of_case c =
               acts))
        c.actions)
 
+(* Lossless float printing for repro files: %g where it round-trips (the
+   common round3 case), full precision otherwise (coefficients summed
+   during generation or shrinking need not land on 3 decimals). *)
+let fstr x =
+  let s = Printf.sprintf "%g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let fstr_signed x = if x >= 0. then "+" ^ fstr x else fstr x
+
 let ctmdp_case_to_string c =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "ctmdp states %d extras 1\n" c.num_states);
@@ -208,9 +217,10 @@ let ctmdp_case_to_string c =
       List.iter
         (fun (label, transitions, cost, extra) ->
           Buffer.add_string buf
-            (Printf.sprintf "state %d action %s cost %g extra %g :%s\n" s label cost extra
+            (Printf.sprintf "state %d action %s cost %s extra %s :%s\n" s label (fstr cost)
+               (fstr extra)
                (String.concat ""
-                  (List.map (fun (t, r) -> Printf.sprintf " ->%d@%g" t r) transitions))))
+                  (List.map (fun (t, r) -> Printf.sprintf " ->%d@%s" t (fstr r)) transitions))))
         acts)
     c.actions;
   Buffer.contents buf
@@ -302,21 +312,23 @@ let lp_case_to_string c =
   Buffer.add_string buf
     (Printf.sprintf "lp %s vars %d\n" (if c.maximize then "maximize" else "minimize") n);
   Buffer.add_string buf "objective:";
-  Array.iteri (fun j cj -> Buffer.add_string buf (Printf.sprintf " %+g x%d" cj j)) c.obj;
+  Array.iteri (fun j cj -> Buffer.add_string buf (Printf.sprintf " %s x%d" (fstr_signed cj) j)) c.obj;
   Buffer.add_char buf '\n';
   Array.iteri
     (fun j lb ->
       if lb <> 0. then
         Buffer.add_string buf
           (if lb = neg_infinity then Printf.sprintf "x%d free\n" j
-           else Printf.sprintf "x%d >= %g\n" j lb))
+           else Printf.sprintf "x%d >= %s\n" j (fstr lb)))
     c.lbs;
   List.iter
     (fun (terms, sense, rhs) ->
       Buffer.add_string buf "row:";
-      List.iter (fun (j, cf) -> Buffer.add_string buf (Printf.sprintf " %+g x%d" cf j)) terms;
+      List.iter
+        (fun (j, cf) -> Buffer.add_string buf (Printf.sprintf " %s x%d" (fstr_signed cf) j))
+        terms;
       let s = match sense with Lp.Le -> "<=" | Lp.Eq -> "=" | Lp.Ge -> ">=" in
-      Buffer.add_string buf (Printf.sprintf " %s %g\n" s rhs))
+      Buffer.add_string buf (Printf.sprintf " %s %s\n" s (fstr rhs)))
     c.rows;
   Buffer.contents buf
 
@@ -347,6 +359,175 @@ let monolithic_spec rng =
 
 let monolithic_to_string (s : Monolithic.spec) =
   Printf.sprintf
-    "monolithic kx %d ky %d lambda_x %g lambda_y %g cross_fraction %g mu_x %g mu_y %g\n"
-    s.Monolithic.kx s.Monolithic.ky s.Monolithic.lambda_x s.Monolithic.lambda_y
-    s.Monolithic.cross_fraction s.Monolithic.mu_x s.Monolithic.mu_y
+    "monolithic kx %d ky %d lambda_x %s lambda_y %s cross_fraction %s mu_x %s mu_y %s\n"
+    s.Monolithic.kx s.Monolithic.ky
+    (fstr s.Monolithic.lambda_x)
+    (fstr s.Monolithic.lambda_y)
+    (fstr s.Monolithic.cross_fraction)
+    (fstr s.Monolithic.mu_x) (fstr s.Monolithic.mu_y)
+
+(* ------------------------------------------------------- repro parsing *)
+
+(* Inverses of the printers above, for `bufsize verify --replay`.  All
+   parsers skip blank and '#' comment lines and return [Error] with the
+   offending line instead of raising. *)
+
+let repro_lines text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* "x3" -> Some 3 *)
+let parse_var_tok n tok =
+  if String.length tok >= 2 && tok.[0] = 'x' then
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some j when j >= 0 && j < n -> Some j
+    | _ -> None
+  else None
+
+(* coefficient/variable pairs, optionally ending in a sense and rhs *)
+let rec parse_terms n acc = function
+  | [] -> Some (List.rev acc, None)
+  | [ sense; rhs ] when sense = "<=" || sense = "=" || sense = ">=" -> (
+      match float_of_string_opt rhs with
+      | Some r ->
+          let s = match sense with "<=" -> Lp.Le | ">=" -> Lp.Ge | _ -> Lp.Eq in
+          Some (List.rev acc, Some (s, r))
+      | None -> None)
+  | coef :: var :: tl -> (
+      match (float_of_string_opt coef, parse_var_tok n var) with
+      | Some c, Some v -> parse_terms n ((v, c) :: acc) tl
+      | _ -> None)
+  | _ -> None
+
+let lp_case_of_string text =
+  match repro_lines text with
+  | [] -> Error "lp: empty repro"
+  | header :: rest -> (
+      match tokens header with
+      | [ "lp"; dir; "vars"; nv ] when dir = "maximize" || dir = "minimize" -> (
+          match int_of_string_opt nv with
+          | Some n when n >= 1 -> (
+              let lbs = Array.make n 0. in
+              let obj = Array.make n 0. in
+              let rows = ref [] in
+              let error = ref None in
+              let fail msg = if !error = None then error := Some msg in
+              List.iter
+                (fun line ->
+                  match tokens line with
+                  | "objective:" :: tl -> (
+                      match parse_terms n [] tl with
+                      | Some (terms, None) -> List.iter (fun (v, c) -> obj.(v) <- c) terms
+                      | _ -> fail ("lp: bad objective line: " ^ line))
+                  | [ v; "free" ] -> (
+                      match parse_var_tok n v with
+                      | Some j -> lbs.(j) <- neg_infinity
+                      | None -> fail ("lp: bad free line: " ^ line))
+                  | [ v; ">="; b ] -> (
+                      match (parse_var_tok n v, float_of_string_opt b) with
+                      | Some j, Some lb -> lbs.(j) <- lb
+                      | _ -> fail ("lp: bad bound line: " ^ line))
+                  | "row:" :: tl -> (
+                      match parse_terms n [] tl with
+                      | Some (terms, Some (sense, rhs)) -> rows := (terms, sense, rhs) :: !rows
+                      | _ -> fail ("lp: bad row line: " ^ line))
+                  | _ -> fail ("lp: unrecognized line: " ^ line))
+                rest;
+              match !error with
+              | Some e -> Error e
+              | None -> Ok { maximize = dir = "maximize"; lbs; obj; rows = List.rev !rows })
+          | _ -> Error ("lp: bad variable count: " ^ nv))
+      | _ -> Error ("lp: bad header: " ^ header))
+
+(* "->3@1.5" -> Some (3, 1.5) *)
+let parse_transition_tok tok =
+  if String.length tok > 2 && tok.[0] = '-' && tok.[1] = '>' then
+    match String.index_opt tok '@' with
+    | Some at -> (
+        match
+          ( int_of_string_opt (String.sub tok 2 (at - 2)),
+            float_of_string_opt (String.sub tok (at + 1) (String.length tok - at - 1)) )
+        with
+        | Some t, Some r -> Some (t, r)
+        | _ -> None)
+    | None -> None
+  else None
+
+let ctmdp_case_of_string text =
+  match repro_lines text with
+  | [] -> Error "ctmdp: empty repro"
+  | header :: rest -> (
+      match tokens header with
+      | [ "ctmdp"; "states"; nv; "extras"; _ ] -> (
+          match int_of_string_opt nv with
+          | Some n when n >= 1 -> (
+              (* Reversed per-state action lists, un-reversed at the end. *)
+              let actions = Array.make n [] in
+              let error = ref None in
+              let fail msg = if !error = None then error := Some msg in
+              List.iter
+                (fun line ->
+                  match tokens line with
+                  | "state" :: s :: "action" :: label :: "cost" :: c :: "extra" :: e :: ":"
+                    :: trans -> (
+                      let transitions =
+                        List.fold_left
+                          (fun acc tok ->
+                            match (acc, parse_transition_tok tok) with
+                            | Some acc, Some (t, r) when t >= 0 && t < n ->
+                                Some ((t, r) :: acc)
+                            | _ -> None)
+                          (Some []) trans
+                      in
+                      match (int_of_string_opt s, float_of_string_opt c, float_of_string_opt e, transitions) with
+                      | Some s, Some cost, Some extra, Some ts when s >= 0 && s < n ->
+                          actions.(s) <- (label, List.rev ts, cost, extra) :: actions.(s)
+                      | _ -> fail ("ctmdp: bad action line: " ^ line))
+                  | _ -> fail ("ctmdp: unrecognized line: " ^ line))
+                rest;
+              match !error with
+              | Some e -> Error e
+              | None ->
+                  let actions = Array.map List.rev actions in
+                  if Array.exists (fun acts -> acts = []) actions then
+                    Error "ctmdp: some state has no actions"
+                  else Ok { num_states = n; actions })
+          | _ -> Error ("ctmdp: bad state count: " ^ nv))
+      | _ -> Error ("ctmdp: bad header: " ^ header))
+
+let monolithic_of_string text =
+  match repro_lines text with
+  | [ line ] -> (
+      match tokens line with
+      | [
+       "monolithic"; "kx"; kx; "ky"; ky; "lambda_x"; lx; "lambda_y"; ly; "cross_fraction"; cf;
+       "mu_x"; mx; "mu_y"; my;
+      ] -> (
+          match
+            ( int_of_string_opt kx,
+              int_of_string_opt ky,
+              float_of_string_opt lx,
+              float_of_string_opt ly,
+              float_of_string_opt cf,
+              float_of_string_opt mx,
+              float_of_string_opt my )
+          with
+          | Some kx, Some ky, Some lambda_x, Some lambda_y, Some cross_fraction, Some mu_x, Some mu_y
+            ->
+              Ok
+                {
+                  Monolithic.kx;
+                  ky;
+                  lambda_x;
+                  lambda_y;
+                  cross_fraction;
+                  mu_x;
+                  mu_y;
+                }
+          | _ -> Error ("monolithic: bad field: " ^ line))
+      | _ -> Error ("monolithic: unrecognized line: " ^ line))
+  | [] -> Error "monolithic: empty repro"
+  | _ -> Error "monolithic: expected exactly one spec line"

@@ -122,3 +122,13 @@ val monolithic_spec : Rng.t -> Bufsize_soc.Monolithic.spec
     exactly). *)
 
 val monolithic_to_string : Bufsize_soc.Monolithic.spec -> string
+
+(** {1 Repro parsing}
+
+    Inverses of the [*_to_string] printers, used by
+    [bufsize verify --replay] to reconstruct a case from a dumped repro.
+    All parsers skip blank and ['#'] comment lines. *)
+
+val lp_case_of_string : string -> (lp_case, string) result
+val ctmdp_case_of_string : string -> (ctmdp_case, string) result
+val monolithic_of_string : string -> (Bufsize_soc.Monolithic.spec, string) result

@@ -654,3 +654,60 @@ let all = [ simplex_cross; mdp_gain; sim_analytic; sizing_bounds; split_monolith
 let find name = List.find_opt (fun o -> o.name = name) all
 
 let names () = List.map (fun o -> o.name) all
+
+(* -------------------------------------------------------------- replay *)
+
+let header_value ~prefix text =
+  let plen = String.length prefix in
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.length line >= plen && String.sub line 0 plen = prefix then
+           Some (String.trim (String.sub line plen (String.length line - plen)))
+         else None)
+
+let case_of_repro text =
+  match header_value ~prefix:"# oracle:" text with
+  | None -> Error "repro has no '# oracle:' header"
+  | Some "simplex-cross" -> Result.map lp_case_to_oracle_case (Gen_model.lp_case_of_string text)
+  | Some "mdp-gain" ->
+      Result.map ctmdp_case_to_oracle_case (Gen_model.ctmdp_case_of_string text)
+  | Some "split-monolithic" ->
+      Result.map monolithic_case_to_oracle_case (Gen_model.monolithic_of_string text)
+  | Some "sim-analytic" -> (
+      (* Buffer capacity and sim seed live in the mm1k header; lambda and
+         mu are recovered from the embedded single-bus architecture. *)
+      match header_value ~prefix:"# M/M/1/K cross-check:" text with
+      | None -> Error "sim-analytic repro has no '# M/M/1/K cross-check:' header"
+      | Some hdr -> (
+          match
+            Scanf.sscanf_opt hdr "src buffer capacity %d words, sim seed %d" (fun k s ->
+                (k, s))
+          with
+          | None -> Error ("sim-analytic: bad cross-check header: " ^ hdr)
+          | Some (k, sim_seed) -> (
+              match Spec_parser.parse text with
+              | Error e -> Error ("sim-analytic: " ^ e)
+              | Ok (topo, traffic) ->
+                  let flows = Traffic.flows traffic in
+                  if Array.length flows <> 1 || Topology.num_buses topo <> 1 then
+                    Error "sim-analytic: expected a single-bus single-flow architecture"
+                  else
+                    let lambda = flows.(0).Traffic.rate in
+                    let mu = (Topology.buses topo).(0).Topology.service_rate in
+                    Ok (mm1k_case_to_oracle_case { Gen_model.lambda; mu; k; sim_seed }))))
+  | Some "sizing-bounds" -> (
+      match header_value ~prefix:"# sizing cross-check:" text with
+      | None -> Error "sizing-bounds repro has no '# sizing cross-check:' header"
+      | Some hdr -> (
+          match
+            Scanf.sscanf_opt hdr "budget %d words, max_states %d" (fun b m -> (b, m))
+          with
+          | None -> Error ("sizing-bounds: bad cross-check header: " ^ hdr)
+          | Some (budget, max_states) -> (
+              (* The parser skips '#' lines, so the full repro text is a
+                 valid sizing_case spec. *)
+              match Spec_parser.parse text with
+              | Error e -> Error ("sizing-bounds: " ^ e)
+              | Ok _ -> Ok (sizing_case_to_oracle_case { text; budget; max_states }))))
+  | Some other -> Error (Printf.sprintf "unknown oracle %S in repro" other)

@@ -21,3 +21,8 @@ val all : Oracle.t list
 val find : string -> Oracle.t option
 
 val names : unit -> string list
+
+val case_of_repro : string -> (Oracle.case, string) result
+(** Reconstruct a runnable case from the contents of a [.repro] file
+    written by {!Driver} (dispatching on its [# oracle:] header) — the
+    replay half of [bufsize verify --replay]. *)

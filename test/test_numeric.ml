@@ -478,6 +478,33 @@ let test_lp_random_feasibility () =
   QCheck.Test.check_exn
     (QCheck.Test.make ~count:200 ~name:"random LPs solve and beat origin" gen prop)
 
+let test_lp_large_model_access () =
+  (* The array-backed model makes [var_name] and [num_constraints] O(1).
+     200k lookups against a 10k-variable, 10k-row model finish in
+     milliseconds; the historical list-backed representation (List.nth
+     over a reversed list, List.length per query) needed a billion list
+     steps here, so the generous wall-clock bound below still separates
+     the complexity classes on slow CI machines. *)
+  let n = 10_000 in
+  let lp = Lp.create ~name:"big" Lp.Minimize in
+  let xs = Lp.add_vars lp n in
+  for i = 0 to n - 1 do
+    Lp.add_constraint lp [ (1., xs.(i)) ] Lp.Ge 0.
+  done;
+  let lookups = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  let checksum = ref 0 in
+  for i = 0 to lookups - 1 do
+    checksum := !checksum + String.length (Lp.var_name lp xs.(i mod n)) + Lp.num_constraints lp
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string) "last var name" "x9999" (Lp.var_name lp xs.(n - 1));
+  Alcotest.(check int) "row count" n (Lp.num_constraints lp);
+  Alcotest.(check bool) "checksum consumed" true (!checksum > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "O(1) accessors: %d lookups took %.3fs (bound 2s)" lookups dt)
+    true (dt < 2.0)
+
 (* --------------------------------------------------------------- Newton *)
 
 let test_newton_scalar () =
@@ -636,6 +663,8 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
           Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
           Alcotest.test_case "random LPs (property)" `Quick test_lp_random_feasibility;
+          Alcotest.test_case "O(1) accessors on a 10k-var model" `Quick
+            test_lp_large_model_access;
         ] );
       ( "newton",
         [

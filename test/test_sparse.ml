@@ -1,0 +1,157 @@
+(* Tests for the CSR sparse-matrix substrate and the sparse solve paths
+   built on it: SpMV and transposed SpMV against the dense reference,
+   triplet accumulation, transpose, iterative stationary distributions
+   against the direct (GTH/LU) solvers on random CTMCs, and the sparse LP
+   lowering against the dense one. *)
+
+module Mat = Bufsize_numeric.Mat
+module Sparse = Bufsize_numeric.Sparse
+module Lp = Bufsize_numeric.Lp
+module Simplex_revised = Bufsize_numeric.Simplex_revised
+module Ctmc = Bufsize_prob.Ctmc
+module Rng = Bufsize_prob.Rng
+module Gen_model = Bufsize_verify.Gen_model
+
+let qcheck ?(count = 100) name arb prop =
+  QCheck.Test.check_exn (QCheck.Test.make ~count ~name arb prop)
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100_000)
+
+(* Random rectangular matrix with ~half the entries zero, plus a vector
+   for each dimension. *)
+let random_mat_vecs seed =
+  let rng = Rng.create (1 + seed) in
+  let rows = 1 + Rng.int rng 8 and cols = 1 + Rng.int rng 8 in
+  let m =
+    Mat.init rows cols (fun _ _ ->
+        if Rng.int rng 2 = 0 then 0. else Rng.float_range rng (-3.) 3.)
+  in
+  let x = Array.init cols (fun _ -> Rng.float_range rng (-2.) 2.) in
+  let y = Array.init rows (fun _ -> Rng.float_range rng (-2.) 2.) in
+  (m, x, y)
+
+let close tol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun u v -> Float.abs (u -. v) <= tol) a b
+
+(* ------------------------------------------------------------- algebra *)
+
+let test_spmv_matches_dense () =
+  qcheck "SpMV = dense mul_vec" seed_arb (fun seed ->
+      let m, x, _ = random_mat_vecs seed in
+      close 1e-12 (Sparse.mul_vec (Sparse.of_dense m) x) (Mat.mul_vec m x))
+
+let test_spmv_t_matches_dense () =
+  qcheck "transposed SpMV = dense transpose mul_vec" seed_arb (fun seed ->
+      let m, _, y = random_mat_vecs seed in
+      close 1e-12 (Sparse.mul_vec_t (Sparse.of_dense m) y) (Mat.mul_vec (Mat.transpose m) y))
+
+let test_transpose_roundtrip () =
+  qcheck "transpose agrees with dense and involutes" seed_arb (fun seed ->
+      let m, _, _ = random_mat_vecs seed in
+      let s = Sparse.of_dense m in
+      Mat.approx_equal ~tol:0. (Sparse.to_dense (Sparse.transpose s)) (Mat.transpose m)
+      && Sparse.approx_equal ~tol:0. (Sparse.transpose (Sparse.transpose s)) s)
+
+let test_of_triplets_accumulates () =
+  (* Duplicates accumulate in list order; exact zeros are dropped. *)
+  let s =
+    Sparse.of_triplets ~rows:2 ~cols:3
+      [ (0, 1, 1.5); (1, 2, -2.); (0, 1, 0.5); (1, 0, 0.); (0, 2, 4.) ]
+  in
+  Alcotest.(check int) "nnz" 3 (Sparse.nnz s);
+  Alcotest.(check (float 0.)) "accumulated" 2. (Sparse.get s 0 1);
+  Alcotest.(check (float 0.)) "plain" 4. (Sparse.get s 0 2);
+  Alcotest.(check (float 0.)) "negative" (-2.) (Sparse.get s 1 2);
+  Alcotest.(check (float 0.)) "dropped zero" 0. (Sparse.get s 1 0);
+  Alcotest.(check int) "row 0 nnz" 2 (Sparse.row_nnz s 0)
+
+let test_scale_and_row_sums () =
+  let s = Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.); (0, 1, 2.); (1, 0, -1.) ] in
+  let sums = Sparse.row_sums (Sparse.scale 2. s) in
+  Alcotest.(check (float 0.)) "row 0" 6. sums.(0);
+  Alcotest.(check (float 0.)) "row 1" (-2.) sums.(1)
+
+(* --------------------------------------------------------- stationary *)
+
+(* Random irreducible CTMC: a cycle [i -> i+1 mod n] guarantees
+   irreducibility, random extra transitions give it structure. *)
+let random_ctmc seed =
+  let rng = Rng.create (1 + seed) in
+  let n = 2 + Rng.int rng 29 in
+  let rates = ref [] in
+  for i = 0 to n - 1 do
+    rates := (i, (i + 1) mod n, Rng.float_range rng 0.5 2.) :: !rates;
+    let extras = Rng.int rng 3 in
+    for _ = 1 to extras do
+      let j = Rng.int rng n in
+      if j <> i then rates := (i, j, Rng.float_range rng 0.01 1.) :: !rates
+    done
+  done;
+  Ctmc.of_rates n !rates
+
+let test_iterative_stationary_matches_direct () =
+  qcheck ~count:60 "iterative stationary = GTH = LU" seed_arb (fun seed ->
+      let c = random_ctmc seed in
+      let it = Ctmc.stationary_iterative c in
+      let lu = Ctmc.stationary_dense c in
+      let gth =
+        match Ctmc.stationary_gth c with
+        | Some pi -> pi
+        | None -> QCheck.Test.fail_report "GTH refused an irreducible chain"
+      in
+      close 1e-8 it gth && close 1e-8 it lu)
+
+let test_stationary_dispatch_consistent () =
+  (* The auto dispatcher must agree with both explicit routes. *)
+  let c = random_ctmc 7 in
+  let auto = Ctmc.stationary c in
+  Alcotest.(check bool) "auto = iterative" true (close 1e-8 auto (Ctmc.stationary_iterative c));
+  Alcotest.(check bool) "auto = dense" true (close 1e-8 auto (Ctmc.stationary_dense c))
+
+(* ----------------------------------------------------------- lowering *)
+
+let dense_of_sparse_std (s : Simplex_revised.sparse_standard) =
+  let a = Array.make (s.Simplex_revised.snrows * s.Simplex_revised.sncols) 0. in
+  Array.iteri
+    (fun j col ->
+      Array.iter (fun (i, v) -> a.((i * s.Simplex_revised.sncols) + j) <- v) col)
+    s.Simplex_revised.scols;
+  a
+
+let test_sparse_lowering_matches_dense () =
+  qcheck ~count:200 "to_standard_sparse = to_standard" seed_arb (fun seed ->
+      let c = Gen_model.lp_case (Rng.create (1 + seed)) in
+      let lp = Gen_model.lp_of_case c in
+      let d = Lp.to_standard lp in
+      let s = Lp.to_standard_sparse lp in
+      s.Simplex_revised.snrows = d.Bufsize_numeric.Simplex.nrows
+      && s.Simplex_revised.sncols = d.Bufsize_numeric.Simplex.ncols
+      && s.Simplex_revised.sb = d.Bufsize_numeric.Simplex.b
+      && s.Simplex_revised.sc = d.Bufsize_numeric.Simplex.c
+      && dense_of_sparse_std s = d.Bufsize_numeric.Simplex.a)
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "SpMV vs dense (property)" `Quick test_spmv_matches_dense;
+          Alcotest.test_case "transposed SpMV vs dense (property)" `Quick
+            test_spmv_t_matches_dense;
+          Alcotest.test_case "transpose round-trip (property)" `Quick test_transpose_roundtrip;
+          Alcotest.test_case "triplet accumulation" `Quick test_of_triplets_accumulates;
+          Alcotest.test_case "scale and row sums" `Quick test_scale_and_row_sums;
+        ] );
+      ( "stationary",
+        [
+          Alcotest.test_case "iterative vs direct (property)" `Quick
+            test_iterative_stationary_matches_direct;
+          Alcotest.test_case "dispatch consistency" `Quick test_stationary_dispatch_consistent;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "sparse vs dense standard form (property)" `Quick
+            test_sparse_lowering_matches_dense;
+        ] );
+    ]

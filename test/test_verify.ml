@@ -242,6 +242,67 @@ let test_driver_reports_and_writes_repros () =
   Alcotest.(check int) "deterministic failure count" summary.Driver.total_failures
     summary2.Driver.total_failures
 
+(* -------------------------------------------------------------- replay *)
+
+let test_replay_case_roundtrips () =
+  (* The of_string parsers invert the to_string printers on generated
+     cases (all values are round3'd, so %g printing is lossless). *)
+  let rng = Rng.create 77 in
+  for _ = 1 to 50 do
+    let c = Gen_model.lp_case rng in
+    (match Gen_model.lp_case_of_string (Gen_model.lp_case_to_string c) with
+    | Error e -> Alcotest.failf "lp round-trip: %s" e
+    | Ok c' -> Alcotest.(check bool) "lp case round-trips" true (c = c'));
+    let m = Gen_model.ctmdp_case rng in
+    (match Gen_model.ctmdp_case_of_string (Gen_model.ctmdp_case_to_string m) with
+    | Error e -> Alcotest.failf "ctmdp round-trip: %s" e
+    | Ok m' -> Alcotest.(check bool) "ctmdp case round-trips" true (m = m'));
+    let s = Gen_model.monolithic_spec rng in
+    match Gen_model.monolithic_of_string (Gen_model.monolithic_to_string s) with
+    | Error e -> Alcotest.failf "monolithic round-trip: %s" e
+    | Ok s' -> Alcotest.(check bool) "monolithic spec round-trips" true (s = s')
+  done
+
+let test_replay_all_oracles () =
+  (* A generated (passing) case of every oracle, prefixed with the driver
+     header, reconstructs through case_of_repro and still passes. *)
+  List.iter
+    (fun (o : Oracle.t) ->
+      let case = o.Oracle.generate ~max_states:24 (Rng.create 4242) in
+      let text = Printf.sprintf "# oracle: %s\n%s" o.Oracle.name case.Oracle.repro in
+      match Oracles.case_of_repro text with
+      | Error e -> Alcotest.failf "%s: replay parse failed: %s" o.Oracle.name e
+      | Ok case' -> (
+          match Oracle.run_check case' with
+          | Oracle.Pass -> ()
+          | Oracle.Fail m -> Alcotest.failf "%s: replayed case fails: %s" o.Oracle.name m))
+    Oracles.all
+
+let test_replay_rejects_malformed () =
+  (match Oracles.case_of_repro "no header at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on a missing oracle header");
+  (match Oracles.case_of_repro "# oracle: simplex-cross\nnot an lp" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on a malformed body");
+  match Oracles.case_of_repro "# oracle: no-such-oracle\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on an unknown oracle"
+
+let test_replay_from_file () =
+  (* Driver.replay reads a repro file end-to-end. *)
+  let case = (List.hd Oracles.all).Oracle.generate ~max_states:16 (Rng.create 9) in
+  let path = Filename.temp_file "bufsize_replay" ".repro" in
+  let oc = open_out path in
+  Printf.fprintf oc "# oracle: %s\n%s" (List.hd Oracles.all).Oracle.name case.Oracle.repro;
+  close_out oc;
+  let result = Driver.replay path in
+  Sys.remove path;
+  match result with
+  | Ok (_, Oracle.Pass) -> ()
+  | Ok (label, Oracle.Fail m) -> Alcotest.failf "replayed %s fails: %s" label m
+  | Error e -> Alcotest.failf "replay: %s" e
+
 let test_driver_architecture_repro_roundtrips () =
   (* Repro files written for architecture-based oracles must stay
      loadable by Spec_parser (comment header + spec body). *)
@@ -307,5 +368,12 @@ let () =
             test_driver_reports_and_writes_repros;
           Alcotest.test_case "architecture repros parse" `Quick
             test_driver_architecture_repro_roundtrips;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "case printers round-trip" `Quick test_replay_case_roundtrips;
+          Alcotest.test_case "every oracle replays" `Quick test_replay_all_oracles;
+          Alcotest.test_case "malformed repros rejected" `Quick test_replay_rejects_malformed;
+          Alcotest.test_case "file replay" `Quick test_replay_from_file;
         ] );
     ]
