@@ -131,7 +131,15 @@ let info_cmd =
 (* ----------------------------------------------------------------- size *)
 
 let size_cmd =
-  let run arch file budget max_states weights =
+  let health_arg =
+    let doc = "Print the per-subsystem solver health report after the allocation." in
+    Arg.(value & flag & info [ "health" ] ~doc)
+  in
+  let health_json_arg =
+    let doc = "Print the solver health report as JSON (implies machine-readable output only for the report)." in
+    Arg.(value & flag & info [ "health-json" ] ~doc)
+  in
+  let run arch file budget max_states weights health health_json =
     let topo, traffic = load_arch arch file in
     let config =
       {
@@ -149,11 +157,16 @@ let size_cmd =
         let sub = B.Bus_model.subsystem sol.B.Sizing.model in
         Format.printf "subsystem %s: %a@." sub.B.Splitting.bus_name B.Mdp.Kswitching.pp
           sol.B.Sizing.switching)
-      r.B.Sizing.solutions
+      r.B.Sizing.solutions;
+    if health then Format.printf "@.%a@." B.Resilience.pp_health r.B.Sizing.health;
+    if health_json then
+      Format.printf "@.%s@." (B.Resilience.health_to_json r.B.Sizing.health)
   in
   let doc = "Run the CTMDP buffer sizing and print the allocation." in
   Cmd.v (Cmd.info "size" ~doc)
-    Term.(const run $ arch_arg $ file_arg $ budget_arg $ max_states_arg $ weights_arg)
+    Term.(
+      const run $ arch_arg $ file_arg $ budget_arg $ max_states_arg $ weights_arg $ health_arg
+      $ health_json_arg)
 
 (* ------------------------------------------------------------- simulate *)
 
@@ -227,7 +240,7 @@ let verify_cmd =
   let oracle_arg =
     let doc =
       "Run only this oracle (repeatable). Available: simplex-cross, mdp-gain, sim-analytic, \
-       sizing-bounds, split-monolithic. Default: all."
+       sizing-bounds, split-monolithic, chaos. Default: all."
     in
     Arg.(value & opt_all string [] & info [ "o"; "oracle" ] ~docv:"NAME" ~doc)
   in

@@ -1,4 +1,5 @@
 module Pool = Bufsize_pool.Pool
+module Resilience = Bufsize_resilience.Resilience
 module Numeric = Bufsize_numeric
 module Prob = Bufsize_prob
 module Mdp = Bufsize_mdp

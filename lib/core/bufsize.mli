@@ -25,6 +25,12 @@
 (** {1 Re-exported layers} *)
 
 module Pool = Bufsize_pool.Pool
+
+module Resilience = Bufsize_resilience.Resilience
+(** Structured solver diagnostics, escalation chains and wall-clock
+    budgets ([BUFSIZE_SOLVE_BUDGET_MS]) shared by every numeric entry
+    point; {!Sizing.result.health} aggregates them per subsystem. *)
+
 module Numeric = Bufsize_numeric
 module Prob = Bufsize_prob
 module Mdp = Bufsize_mdp

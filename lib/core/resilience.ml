@@ -1,0 +1,300 @@
+(* Structured solver diagnostics, wall-clock/iteration budgets, and
+   escalation chains.
+
+   Every numeric entry point of the solve pipeline (simplex, LU, Newton,
+   stationary solves, policy/value iteration) reports its outcome as a
+   [diagnostic] instead of a bare exception or a silent NaN/unconverged
+   return: which solver ran, whether the answer is clean ([Ok]), usable
+   but produced by a fallback or with a known defect ([Degraded]), or
+   absent ([Failed]) — plus the iteration count, the final residual, the
+   wall time, and the ordered list of fallbacks taken.
+
+   The [escalate] combinator runs a chain of solver steps in order
+   (e.g. revised simplex -> dense tableau -> Bland -> lexicographic
+   perturbation), converts uncaught exceptions into step rejections,
+   stops the chain when the wall-clock budget is exhausted, and keeps the
+   best partial answer so a hung or failing solve degrades to the
+   best-known answer instead of spinning or crashing.
+
+   This module sits below lib/numeric in the dependency order and must
+   not depend on any other bufsize library. *)
+
+(* ------------------------------------------------------------- status *)
+
+type status = Ok | Degraded of string | Failed of string
+
+let status_ok = function Ok -> true | Degraded _ | Failed _ -> false
+let status_usable = function Ok | Degraded _ -> true | Failed _ -> false
+
+let status_reason = function Ok -> None | Degraded r | Failed r -> Some r
+
+let pp_status ppf = function
+  | Ok -> Format.fprintf ppf "ok"
+  | Degraded r -> Format.fprintf ppf "degraded (%s)" r
+  | Failed r -> Format.fprintf ppf "failed (%s)" r
+
+(* --------------------------------------------------------- diagnostic *)
+
+type diagnostic = {
+  solver : string;  (* entry point, e.g. "lp.solve" or "ctmc.stationary" *)
+  status : status;
+  iterations : int;
+  residual : float;  (* NaN when the solver has no residual notion *)
+  wall_ms : float;
+  fallbacks : string list;  (* escalation steps taken, oldest first *)
+}
+
+let make ?(iterations = 0) ?(residual = Float.nan) ?(wall_ms = 0.)
+    ?(fallbacks = []) ~solver status =
+  { solver; status; iterations; residual; wall_ms; fallbacks }
+
+let ok ?iterations ?residual ?wall_ms ?fallbacks ~solver () =
+  make ?iterations ?residual ?wall_ms ?fallbacks ~solver Ok
+
+let degraded ?iterations ?residual ?wall_ms ?fallbacks ~solver reason =
+  make ?iterations ?residual ?wall_ms ?fallbacks ~solver (Degraded reason)
+
+let failed ?iterations ?residual ?wall_ms ?fallbacks ~solver reason =
+  make ?iterations ?residual ?wall_ms ?fallbacks ~solver (Failed reason)
+
+let is_ok d = status_ok d.status
+let is_usable d = status_usable d.status
+
+(* Worst status wins when a pipeline stage aggregates sub-diagnostics:
+   Failed > Degraded > Ok; the first reason at the worst severity is kept. *)
+let worst_status ds =
+  List.fold_left
+    (fun acc d ->
+      match (acc, d.status) with
+      | Failed _, _ -> acc
+      | _, Failed r -> Failed r
+      | Degraded _, _ -> acc
+      | _, Degraded r -> Degraded r
+      | Ok, Ok -> Ok)
+    Ok ds
+
+let pp ppf d =
+  Format.fprintf ppf "@[<h>%-24s %a" d.solver pp_status d.status;
+  if d.iterations > 0 then Format.fprintf ppf ", %d iters" d.iterations;
+  if Float.is_finite d.residual then Format.fprintf ppf ", residual %.2e" d.residual;
+  Format.fprintf ppf ", %.1f ms" d.wall_ms;
+  if d.fallbacks <> [] then
+    Format.fprintf ppf ", fallbacks: %s" (String.concat " -> " d.fallbacks);
+  Format.fprintf ppf "@]"
+
+(* Hand-rolled JSON (no dependency): strings are escaped, NaN/infinite
+   floats are emitted as null so the output stays standard JSON. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+let to_json d =
+  let status, reason =
+    match d.status with
+    | Ok -> ("ok", None)
+    | Degraded r -> ("degraded", Some r)
+    | Failed r -> ("failed", Some r)
+  in
+  Printf.sprintf
+    "{\"solver\":\"%s\",\"status\":\"%s\",\"reason\":%s,\"iterations\":%d,\"residual\":%s,\"wall_ms\":%s,\"fallbacks\":[%s]}"
+    (json_escape d.solver) status
+    (match reason with None -> "null" | Some r -> Printf.sprintf "\"%s\"" (json_escape r))
+    d.iterations (json_float d.residual) (json_float d.wall_ms)
+    (String.concat "," (List.map (fun f -> Printf.sprintf "\"%s\"" (json_escape f)) d.fallbacks))
+
+(* ------------------------------------------------------------- budget *)
+
+(* A budget is an absolute wall-clock deadline (plus an optional iteration
+   allowance solvers can consult).  [None] deadline = unlimited.  The
+   BUFSIZE_SOLVE_BUDGET_MS environment variable seeds the default budget;
+   unset or non-positive means unlimited, matching the historical
+   behavior exactly. *)
+
+type budget = { deadline : float option (* Unix epoch seconds *) }
+
+let now_s () = Unix.gettimeofday ()
+
+let unlimited = { deadline = None }
+
+let of_ms ms = if ms <= 0. then unlimited else { deadline = Some (now_s () +. (ms /. 1000.)) }
+
+(* A budget that is already exhausted — deterministic regardless of clock
+   resolution; used by the chaos harness to exercise the exhaustion path. *)
+let expired () = { deadline = Some (now_s () -. 1.) }
+
+let budget_env_var = "BUFSIZE_SOLVE_BUDGET_MS"
+
+let of_env () =
+  match Sys.getenv_opt budget_env_var with
+  | None | Some "" -> unlimited
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some ms when ms > 0. -> of_ms ms
+      | Some _ -> unlimited
+      | None ->
+          invalid_arg
+            (Printf.sprintf "%s: expected a duration in milliseconds, got %S" budget_env_var s))
+
+let exhausted b = match b.deadline with None -> false | Some d -> now_s () > d
+
+let remaining_ms b =
+  match b.deadline with
+  | None -> Float.infinity
+  | Some d -> Float.max 0. ((d -. now_s ()) *. 1000.)
+
+(* --------------------------------------------------------- escalation *)
+
+(* One step of an escalation chain either:
+   - [Accept]s with a clean answer (the chain stops, status Ok unless a
+     previous step already failed);
+   - returns a [Partial] answer with a defect note (kept as the
+     best-known answer; the chain keeps escalating for a clean one);
+   - [Reject]s with a reason (the chain escalates). *)
+
+type meta = { m_iterations : int; m_residual : float }
+
+let meta ?(iterations = 0) ?(residual = Float.nan) () =
+  { m_iterations = iterations; m_residual = residual }
+
+type 'a step_outcome =
+  | Accept of 'a * meta
+  | Partial of 'a * meta * string
+  | Reject of string
+
+type 'a step = { step_name : string; run : budget -> 'a step_outcome }
+
+let step name run = { step_name = name; run }
+
+(* Run the chain.  Returns the best answer found (None only when every
+   step rejected) and the diagnostic describing how it was obtained:
+   - first step accepts            -> Ok
+   - a later step accepts          -> Degraded "fell back to <step> (<why>)"
+   - only a partial answer exists  -> Degraded with the partial's note
+   - everything rejected           -> Failed with the first reason
+   - budget ran out                -> Degraded (best-known answer) or
+                                      Failed, noting the exhaustion.
+   Uncaught exceptions in a step are converted into rejections, so a
+   chain can never let a solver exception escape. *)
+let escalate ~solver ?(budget = unlimited) steps =
+  let t0 = now_s () in
+  let finish status value m fallbacks =
+    let wall_ms = (now_s () -. t0) *. 1000. in
+    ( value,
+      {
+        solver;
+        status;
+        iterations = m.m_iterations;
+        residual = m.m_residual;
+        wall_ms;
+        fallbacks = List.rev fallbacks;
+      } )
+  in
+  let no_meta = meta () in
+  let rec go steps ~first_reject ~best ~fallbacks =
+    match steps with
+    | [] -> (
+        match best with
+        | Some (v, m, note) -> finish (Degraded note) (Some v) m fallbacks
+        | None ->
+            let reason = Option.value ~default:"no steps" first_reject in
+            finish (Failed reason) None no_meta fallbacks)
+    | s :: rest ->
+        if exhausted budget then begin
+          let note = Printf.sprintf "budget exhausted before step %s" s.step_name in
+          match best with
+          | Some (v, m, _) -> finish (Degraded note) (Some v) m fallbacks
+          | None ->
+              let reason =
+                match first_reject with
+                | Some r -> Printf.sprintf "%s; %s" note r
+                | None -> note
+              in
+              finish (Failed reason) None no_meta fallbacks
+        end
+        else begin
+          let outcome =
+            match s.run budget with
+            | o -> o
+            | exception e -> Reject (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+          in
+          match outcome with
+          | Accept (v, m) ->
+              let status =
+                match first_reject with
+                | None -> Ok
+                | Some why -> Degraded (Printf.sprintf "fell back to %s (%s)" s.step_name why)
+              in
+              finish status (Some v) m (s.step_name :: fallbacks)
+          | Partial (v, m, note) ->
+              let best =
+                match best with Some _ -> best | None -> Some (v, m, note)
+              in
+              go rest
+                ~first_reject:(Some (Option.value ~default:note first_reject))
+                ~best
+                ~fallbacks:(s.step_name :: fallbacks)
+          | Reject why ->
+              go rest
+                ~first_reject:(Some (Option.value ~default:why first_reject))
+                ~best
+                ~fallbacks:(s.step_name :: fallbacks)
+        end
+  in
+  match steps with
+  | [] -> finish (Failed "empty escalation chain") None no_meta []
+  | first :: rest -> (
+      (* The first step is the normal path: it does not count as a
+         fallback, so an immediate Accept yields a pristine diagnostic. *)
+      if exhausted budget then
+        go steps ~first_reject:None ~best:None ~fallbacks:[]
+      else
+        let outcome =
+          match first.run budget with
+          | o -> o
+          | exception e -> Reject (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+        in
+        match outcome with
+        | Accept (v, m) -> finish Ok (Some v) m []
+        | Partial (v, m, note) ->
+            go rest ~first_reject:(Some note) ~best:(Some (v, m, note)) ~fallbacks:[]
+        | Reject why -> go rest ~first_reject:(Some why) ~best:None ~fallbacks:[])
+
+(* ------------------------------------------------------------- health *)
+
+(* A health report is a labelled list of diagnostics collected across a
+   pipeline run (e.g. one entry per subsystem LP, per stationary solve). *)
+
+type health = (string * diagnostic) list
+
+let health_ok h = List.for_all (fun (_, d) -> is_ok d) h
+
+let pp_health ppf (h : health) =
+  Format.fprintf ppf "@[<v>health: %s@," (if health_ok h then "all ok" else "DEGRADED");
+  List.iter (fun (label, d) -> Format.fprintf ppf "  %-20s %a@," label pp d) h;
+  Format.fprintf ppf "@]"
+
+let health_to_json (h : health) =
+  Printf.sprintf "{\"ok\":%b,\"diagnostics\":[%s]}" (health_ok h)
+    (String.concat ","
+       (List.map
+          (fun (label, d) ->
+            Printf.sprintf "{\"label\":\"%s\",\"diagnostic\":%s}" (json_escape label) (to_json d))
+          h))
+
+(* ----------------------------------------------------------- finiteness *)
+
+(* The "no NaN/Inf in a claimed-feasible solution" guard used by the
+   solver integrations and asserted by the chaos harness. *)
+let all_finite a = Array.for_all Float.is_finite a

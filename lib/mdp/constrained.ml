@@ -6,8 +6,7 @@ type result = {
 
 type outcome = Feasible of result | Infeasible | Unbounded
 
-let solve ?max_iter ~bounds m =
-  match Lp_formulation.solve ~extra_bounds:bounds ?max_iter m with
+let outcome_of_lp ~bounds m = function
   | Lp_formulation.Infeasible -> Infeasible
   | Lp_formulation.Unbounded -> Unbounded
   | Lp_formulation.Optimal solved ->
@@ -16,6 +15,13 @@ let solve ?max_iter ~bounds m =
       in
       let check = Policy.evaluate m solved.Lp_formulation.policy in
       Feasible { solved; switching; policy_gain_check = check.Policy.gain }
+
+let solve ?max_iter ~bounds m =
+  outcome_of_lp ~bounds m (Lp_formulation.solve ~extra_bounds:bounds ?max_iter m)
+
+let solve_diag ?max_iter ?budget ~bounds m =
+  let o, diag = Lp_formulation.solve_diag ~extra_bounds:bounds ?max_iter ?budget m in
+  (Option.map (outcome_of_lp ~bounds m) o, diag)
 
 let with_priced_extra m ~extra ~price =
   Ctmdp.map_costs m (fun _ _ act -> act.Ctmdp.cost +. (price *. act.Ctmdp.extras.(extra)))

@@ -28,6 +28,16 @@ type outcome =
 val solve :
   ?max_iter:int -> bounds:Lp_formulation.bound array -> Ctmdp.t -> outcome
 
+val solve_diag :
+  ?max_iter:int ->
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  bounds:Lp_formulation.bound array ->
+  Ctmdp.t ->
+  outcome option * Bufsize_resilience.Resilience.diagnostic
+(** {!solve} through the LP escalation chain, reporting how the solve was
+    obtained (engine fallbacks, anti-cycling, budget exhaustion) as a
+    structured diagnostic. *)
+
 val solve_lagrangian :
   ?bisection_steps:int ->
   ?price_hi:float ->

@@ -131,7 +131,9 @@ let harvest m x values =
     occupation;
   (occupation, extras, !gain)
 
-let solve ?extra_bounds ?max_iter ?engine m =
+(* Assemble the single-model LP, returning the handles the harvest needs.
+   [solve] and [solve_diag] share this so their models are identical. *)
+let assemble ?extra_bounds m =
   check_bounds m extra_bounds;
   let lp = Lp.create ~name:"ctmdp-average-cost" Lp.Minimize in
   let x = add_block lp m ~prefix:"" in
@@ -145,7 +147,9 @@ let solve ?extra_bounds ?max_iter ?engine m =
             b.value)
         bs);
   Lp.set_objective lp (objective_terms m x);
-  match Lp.solve ?max_iter ?engine lp with
+  (lp, x, n_structural_rows)
+
+let outcome_of_lp ?extra_bounds m x n_structural_rows = function
   | Lp.Infeasible -> Infeasible
   | Lp.Unbounded -> Unbounded
   | Lp.Optimal sol ->
@@ -164,6 +168,15 @@ let solve ?extra_bounds ?max_iter ?engine m =
           lp_iterations = sol.Lp.iterations;
         }
 
+let solve ?extra_bounds ?max_iter ?engine m =
+  let lp, x, n_structural_rows = assemble ?extra_bounds m in
+  outcome_of_lp ?extra_bounds m x n_structural_rows (Lp.solve ?max_iter ?engine lp)
+
+let solve_diag ?extra_bounds ?max_iter ?engine ?budget m =
+  let lp, x, n_structural_rows = assemble ?extra_bounds m in
+  let o, diag = Lp.solve_diag ?max_iter ?engine ?budget lp in
+  (Option.map (outcome_of_lp ?extra_bounds m x n_structural_rows) o, diag)
+
 type joint_solved = {
   total_gain : float;
   components : solved array;
@@ -174,7 +187,7 @@ type joint_solved = {
 
 type joint_outcome = Joint_optimal of joint_solved | Joint_infeasible | Joint_unbounded
 
-let solve_joint ?shared_bounds ?max_iter ?engine models =
+let assemble_joint ?shared_bounds models =
   if Array.length models = 0 then invalid_arg "Lp_formulation.solve_joint: no components";
   let num_extras = Ctmdp.num_extras models.(0) in
   Array.iter
@@ -206,7 +219,9 @@ let solve_joint ?shared_bounds ?max_iter ?engine models =
     Array.to_list (Array.mapi (fun i m -> objective_terms m blocks.(i)) models) |> List.concat
   in
   Lp.set_objective lp objective;
-  match Lp.solve ?max_iter ?engine lp with
+  (lp, blocks, n_structural_rows, num_extras)
+
+let joint_outcome_of_lp ?shared_bounds models blocks n_structural_rows num_extras = function
   | Lp.Infeasible -> Joint_infeasible
   | Lp.Unbounded -> Joint_unbounded
   | Lp.Optimal sol ->
@@ -240,3 +255,16 @@ let solve_joint ?shared_bounds ?max_iter ?engine models =
           shared_duals;
           joint_iterations = sol.Lp.iterations;
         }
+
+let solve_joint ?shared_bounds ?max_iter ?engine models =
+  let lp, blocks, n_structural_rows, num_extras = assemble_joint ?shared_bounds models in
+  joint_outcome_of_lp ?shared_bounds models blocks n_structural_rows num_extras
+    (Lp.solve ?max_iter ?engine lp)
+
+let solve_joint_diag ?shared_bounds ?max_iter ?engine ?budget models =
+  let lp, blocks, n_structural_rows, num_extras = assemble_joint ?shared_bounds models in
+  let o, diag = Lp.solve_diag ?max_iter ?engine ?budget lp in
+  ( Option.map
+      (joint_outcome_of_lp ?shared_bounds models blocks n_structural_rows num_extras)
+      o,
+    diag )

@@ -53,6 +53,17 @@ val solve :
 (** Build and solve the LP for one CTMDP.  [engine] selects the dense or
     sparse-revised simplex (see {!Bufsize_numeric.Lp.engine}). *)
 
+val solve_diag :
+  ?extra_bounds:bound array ->
+  ?max_iter:int ->
+  ?engine:Bufsize_numeric.Lp.engine ->
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  Ctmdp.t ->
+  outcome option * Bufsize_resilience.Resilience.diagnostic
+(** {!solve} through {!Bufsize_numeric.Lp.solve_diag}: same model, same
+    clean path, plus the engine escalation chain and a structured
+    diagnostic instead of silent fallbacks. *)
+
 type joint_solved = {
   total_gain : float;
   components : solved array;  (** per-component results, same order *)
@@ -75,3 +86,13 @@ val solve_joint :
 (** One block LP over all components.  All components must agree on
     [num_extras]; [shared_bounds] constrain the {e sums} of each extra
     across components.  @raise Invalid_argument on mismatched extras. *)
+
+val solve_joint_diag :
+  ?shared_bounds:bound array ->
+  ?max_iter:int ->
+  ?engine:Bufsize_numeric.Lp.engine ->
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  Ctmdp.t array ->
+  joint_outcome option * Bufsize_resilience.Resilience.diagnostic
+(** {!solve_joint} with the LP engine escalation chain and a structured
+    diagnostic. *)

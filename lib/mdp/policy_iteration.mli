@@ -32,7 +32,43 @@ val evaluate_deterministic_iterative :
     for the bias.  O(nnz) per sweep, no dense allocation; used
     automatically by {!solve} above a few hundred states. *)
 
+val evaluate_deterministic_iterative_report :
+  ?tol:float ->
+  ?max_iter:int ->
+  Ctmdp.t ->
+  int array ->
+  float * Bufsize_numeric.Vec.t * int * bool
+(** {!evaluate_deterministic_iterative} plus the sweep count and whether
+    the residual target was reached — convergence evidence for the
+    resilience layer. *)
+
+val evaluate : Ctmdp.t -> int array -> float * Bufsize_numeric.Vec.t
+(** Size-dispatching policy evaluation: dense elimination below a few
+    hundred states (degrading to the iterative path when the dense system
+    is singular, i.e. the policy is multichain), iterative above. *)
+
+val evaluate_diag :
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  Ctmdp.t ->
+  int array ->
+  (float * Bufsize_numeric.Vec.t) option * Bufsize_resilience.Resilience.diagnostic
+(** {!evaluate} with the fallback recorded instead of taken silently: a
+    singular dense system rejects the first step with the pivot named, an
+    unconverged iterative sweep surfaces as a best-known [Degraded]
+    answer, and NaN/Inf in gain or bias is rejected outright. *)
+
 val solve : ?max_iter:int -> ?tol:float -> ?initial:int array -> Ctmdp.t -> result
 (** Policy iteration from [initial] (default: first action everywhere).
     [tol] (default [1e-9]) is the improvement threshold guarding against
     cycling on ties; [max_iter] defaults to [1000]. *)
+
+val solve_diag :
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?initial:int array ->
+  Ctmdp.t ->
+  result option * Bufsize_resilience.Resilience.diagnostic
+(** {!solve} as a diagnostic: [Ok] when converged, [Degraded] (with the
+    best policy found) when the iteration cap was hit, [Failed] on
+    NaN/Inf. *)

@@ -306,10 +306,10 @@ let choose_engine t = function
   | Some e -> e
   | None -> if t.nrows > auto_engine_threshold then Revised else Dense
 
-let solve ?eps ?max_iter ?engine t =
+let solve ?eps ?max_iter ?engine ?bland_after ?lex t =
   let result =
     match choose_engine t engine with
-    | Dense -> Simplex.solve ?eps ?max_iter (to_standard t)
+    | Dense -> Simplex.solve ?eps ?max_iter ?bland_after ?lex (to_standard t)
     | Revised -> Simplex_revised.solve_sparse ?eps ?max_iter (to_standard_sparse t)
   in
   match result with
@@ -337,3 +337,113 @@ let pp_outcome ppf = function
   | Unbounded -> Format.fprintf ppf "unbounded"
   | Optimal s ->
       Format.fprintf ppf "optimal: %.6g (%d iterations)" s.objective s.iterations
+
+(* ------------------------------------------------------- resilient solve *)
+
+module Resilience = Bufsize_resilience.Resilience
+
+(* Worst constraint violation of [values] in user (pre-lowering) space,
+   reported as the diagnostic residual. *)
+let feasibility_residual t values =
+  let worst = ref 0. in
+  for r = 0 to t.nrows - 1 do
+    let lhs = ref 0. in
+    iter_row_terms t r (fun coef v -> lhs := !lhs +. (coef *. values.(v)));
+    let gap =
+      match t.row_sense.(r) with
+      | Eq -> Float.abs (!lhs -. t.row_rhs.(r))
+      | Le -> Float.max 0. (!lhs -. t.row_rhs.(r))
+      | Ge -> Float.max 0. (t.row_rhs.(r) -. !lhs)
+    in
+    worst := Float.max !worst gap
+  done;
+  !worst
+
+(* Worst violation with each row's gap divided by the row's coefficient
+   magnitude.  The absolute measure calls a row "satisfied" whenever its
+   gap is below the solver tolerance — which a row scaled down towards
+   that tolerance achieves at points violating the original constraint
+   badly.  Dividing by the row scale restores the comparison, so badly
+   scaled rows are detectable a posteriori. *)
+let relative_feasibility_residual t values =
+  let worst = ref 0. in
+  for r = 0 to t.nrows - 1 do
+    let lhs = ref 0. in
+    let scale = ref 0. in
+    iter_row_terms t r (fun coef v ->
+        lhs := !lhs +. (coef *. values.(v));
+        scale := Float.max !scale (Float.abs coef));
+    let gap =
+      match t.row_sense.(r) with
+      | Eq -> Float.abs (!lhs -. t.row_rhs.(r))
+      | Le -> Float.max 0. (!lhs -. t.row_rhs.(r))
+      | Ge -> Float.max 0. (t.row_rhs.(r) -. !lhs)
+    in
+    if !scale > 0. then worst := Float.max !worst (gap /. !scale)
+  done;
+  !worst
+
+let outcome_finite = function
+  | Infeasible | Unbounded -> true
+  | Optimal s ->
+      Float.is_finite s.objective
+      && Resilience.all_finite s.values
+      && Resilience.all_finite s.duals
+
+(* Escalation chain over the LP engines: the auto-chosen engine first
+   (identical to [solve] on the clean path), then the other engine, then
+   the dense tableau under Bland's anti-cycling rule from the first pivot,
+   then the dense tableau under the geometric (lexicographic-style)
+   right-hand-side perturbation.  A step is rejected when it raises or
+   when it claims optimality with NaN/Inf anywhere in the solution, so a
+   usable result is always finite.  [budget] (default: the
+   BUFSIZE_SOLVE_BUDGET_MS environment budget) bounds the whole chain in
+   wall-clock time; on exhaustion the best-known answer is returned as
+   [Degraded] rather than spinning through further fallbacks.
+
+   Returns [None] (with a [Failed] diagnostic) only when every step
+   rejected. *)
+let solve_diag ?eps ?max_iter ?engine ?budget t =
+  let primary = choose_engine t engine in
+  let attempt ?bland_after ?lex engine _budget =
+    let o = solve ?eps ?max_iter ~engine ?bland_after ?lex t in
+    if not (outcome_finite o) then
+      Resilience.Reject "claimed-optimal solution contains NaN/Inf"
+    else
+      match o with
+      | Optimal s ->
+          let m =
+            Resilience.meta ~iterations:s.iterations ~residual:(feasibility_residual t s.values)
+              ()
+          in
+          let rel = relative_feasibility_residual t s.values in
+          if rel > 1e-6 then
+            Resilience.Partial
+              ( o,
+                m,
+                Printf.sprintf
+                  "claimed optimum violates a constraint at relative level %.3e (badly scaled \
+                   row?)"
+                  rel )
+          else Resilience.Accept (o, m)
+      | Infeasible | Unbounded -> Resilience.Accept (o, Resilience.meta ())
+  in
+  let dense_steps =
+    [
+      Resilience.step "bland" (attempt ~bland_after:0 Dense);
+      Resilience.step "lex-perturbation" (attempt ~lex:true Dense);
+    ]
+  in
+  let steps =
+    match primary with
+    | Revised ->
+        Resilience.step "revised-simplex" (attempt Revised)
+        :: Resilience.step "dense-tableau" (attempt Dense)
+        :: dense_steps
+    | Dense ->
+        Resilience.step "dense-tableau" (attempt Dense)
+        :: Resilience.step "revised-simplex" (attempt Revised)
+        :: dense_steps
+  in
+  let budget = match budget with Some b -> b | None -> Resilience.of_env () in
+  Resilience.escalate ~solver:(Printf.sprintf "lp.solve(%s)" t.lp_name) ~budget steps

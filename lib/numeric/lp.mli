@@ -71,13 +71,56 @@ val value : solution -> var -> float
 
 type engine = Dense | Revised
 
-val solve : ?eps:float -> ?max_iter:int -> ?engine:engine -> t -> outcome
+val solve :
+  ?eps:float ->
+  ?max_iter:int ->
+  ?engine:engine ->
+  ?bland_after:int ->
+  ?lex:bool ->
+  t ->
+  outcome
 (** Lower to standard form and solve.  [engine] selects the dense tableau
     ({!Simplex.solve} — battle-tested, O(m*(n+m)) memory) or the sparse
     revised simplex ({!Simplex_revised.solve_sparse} — lowered via
     {!to_standard_sparse}, never materializing a dense tableau).  When
     [engine] is omitted the model chooses: dense below ~400 rows (all
-    published artifact runs stay on it, bit-for-bit), revised above. *)
+    published artifact runs stay on it, bit-for-bit), revised above.
+    [bland_after] and [lex] are forwarded to the dense tableau only
+    (anti-cycling knobs used by the escalation chain in {!solve_diag}). *)
+
+val feasibility_residual : t -> float array -> float
+(** Worst violation of the user-level constraints by [values] (indexed by
+    variable): [max] over rows of the signed gap appropriate to each row's
+    sense.  Zero on a feasible point; reported as the diagnostic residual
+    by {!solve_diag}. *)
+
+val relative_feasibility_residual : t -> float array -> float
+(** Like {!feasibility_residual} but with each row's gap divided by the
+    row's largest coefficient magnitude, so violations of badly scaled
+    rows (satisfied only within the solver's absolute tolerance) remain
+    visible.  {!solve_diag} demotes a claimed optimum to [Degraded] when
+    this exceeds [1e-6]. *)
+
+val outcome_finite : outcome -> bool
+(** [true] unless the outcome claims optimality with a NaN/Inf objective,
+    value, or dual. *)
+
+val solve_diag :
+  ?eps:float ->
+  ?max_iter:int ->
+  ?engine:engine ->
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  t ->
+  outcome option * Bufsize_resilience.Resilience.diagnostic
+(** Resilient {!solve}: runs the escalation chain
+    auto engine -> other engine -> Bland from pivot one -> lexicographic
+    perturbation, each step bounded by [budget] (default
+    {!Bufsize_resilience.Resilience.of_env}).  The first step is exactly
+    {!solve}, so the clean path is bit-for-bit unchanged and reported
+    [Ok]; any fallback demotes the diagnostic to [Degraded]; exhausting
+    the chain (or the budget with nothing usable) yields [None, Failed].
+    A step is rejected — never surfaced — when it raises or claims an
+    optimum containing NaN/Inf. *)
 
 val to_standard : t -> Simplex.standard
 (** The lowered dense standard form (exposed for tests and benchmarks). *)

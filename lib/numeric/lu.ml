@@ -66,7 +66,17 @@ let solve_factorized { lu; perm; _ } b =
   done;
   y
 
+(* Exception-free entry point: [Error k] names the elimination column whose
+   pivot vanished, so callers can report the defect instead of unwinding. *)
+let try_factorize ?pivot_tol m =
+  match factorize ?pivot_tol m with
+  | f -> Stdlib.Ok f
+  | exception Singular k -> Stdlib.Error k
+
 let solve ?pivot_tol a b = solve_factorized (factorize ?pivot_tol a) b
+
+let try_solve ?pivot_tol a b =
+  Result.map (fun f -> solve_factorized f b) (try_factorize ?pivot_tol a)
 
 (* A' x = b with PA = LU: solve U' z = b (forward, diagonal from U), then
    L' w = z (backward, unit diagonal), then undo the permutation. *)

@@ -20,8 +20,18 @@ val factorize : ?pivot_tol:float -> Mat.t -> factorization
 val solve_factorized : factorization -> Vec.t -> Vec.t
 (** Solves [A x = b] given the factorization of [A]. *)
 
+val try_factorize :
+  ?pivot_tol:float -> Mat.t -> (factorization, int) result
+(** Exception-free {!factorize}: [Error k] names the elimination step whose
+    pivot fell below [pivot_tol], so callers can report the defect as data
+    instead of unwinding. *)
+
 val solve : ?pivot_tol:float -> Mat.t -> Vec.t -> Vec.t
 (** [solve a b] factorizes and solves in one step. *)
+
+val try_solve :
+  ?pivot_tol:float -> Mat.t -> Vec.t -> (Vec.t, int) result
+(** Exception-free {!solve}; [Error k] as in {!try_factorize}. *)
 
 val solve_transposed : factorization -> Vec.t -> Vec.t
 (** [solve_transposed f b] solves [A' x = b] using the factorization of

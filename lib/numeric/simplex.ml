@@ -408,12 +408,16 @@ let refined_solution std tab iterations =
         done;
         let cb = Array.init m (fun j -> if tab.basis.(j) < tab.n then std.c.(tab.basis.(j)) else 0.) in
         let bt = Mat.transpose bmat in
-        let duals =
-          match Lu.solve bt cb with
-          | y -> Array.init m (fun i -> flip i *. y.(i))
-          | exception Lu.Singular _ -> Array.make m Float.nan
-        in
-        Some { x; objective = !objective; duals; basis = Array.copy tab.basis; iterations }
+        (* A singular transposed basis means the dual solve cannot be
+           trusted; historically this claimed Optimal with NaN duals.  Now
+           the refinement is rejected instead, so the caller falls back to
+           the tableau solution (finite duals, drift-retry path) and the
+           claimed-feasible result never carries NaN/Inf. *)
+        match Lu.try_solve bt cb with
+        | Stdlib.Error _ -> None
+        | Stdlib.Ok y ->
+            let duals = Array.init m (fun i -> flip i *. y.(i)) in
+            Some { x; objective = !objective; duals; basis = Array.copy tab.basis; iterations }
       end
 
 (* Rebuild the whole tableau from the original data given the current basis
@@ -512,7 +516,32 @@ let perturb std =
   in
   { std with b }
 
-let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(bland_after = 20_000) std =
+(* Geometric right-hand-side perturbation — the numerical stand-in for the
+   lexicographic anti-cycling rule.  The deltas decay geometrically (with a
+   floor against underflow), so ties between rows are broken in a strict
+   priority order no matter how the linear [perturb] profile interacted
+   with the data; used as the last step of the LP escalation chain. *)
+let perturb_lex std =
+  let scale =
+    1e-4 *. Float.max 1. (Array.fold_left (fun a b -> Float.max a (Float.abs b)) 0. std.b)
+  in
+  let b =
+    Array.mapi
+      (fun i bi ->
+        let delta = scale *. Float.max (0.618 ** float_of_int (i + 1)) 1e-9 in
+        if bi < 0. then bi -. delta else bi +. delta)
+      std.b
+  in
+  { std with b }
+
+(* No NaN/Inf anywhere in a claimed-feasible solution: the invariant the
+   resilience layer asserts on every public LP result. *)
+let solution_finite (s : solution) =
+  Float.is_finite s.objective
+  && Array.for_all Float.is_finite s.x
+  && Array.for_all Float.is_finite s.duals
+
+let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(bland_after = 20_000) ?(lex = false) std =
   check_dims std;
   (* Pivot on the perturbed problem; refine and report against the true
      one.  [refined_solution] and the result records must see [std]. *)
@@ -575,7 +604,7 @@ let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(bland_after = 20_000) std =
     | `Infeasible | `Stalled -> Infeasible
     | `Drifted fallback -> Optimal fallback
   in
-  let work = perturb std in
+  let work = if lex then perturb_lex std else perturb std in
   match timed "first run" (fun () -> run ~work ~bland_after ~refactor_every:400) with
   | `Infeasible -> unperturbed_retry ()
   | `Unbounded -> Unbounded

@@ -40,12 +40,26 @@ type result =
   | Unbounded
 
 val solve :
-  ?eps:float -> ?max_iter:int -> ?bland_after:int -> standard -> result
+  ?eps:float ->
+  ?max_iter:int ->
+  ?bland_after:int ->
+  ?lex:bool ->
+  standard ->
+  result
 (** [solve std] runs two-phase simplex.  [eps] (default [1e-9]) is the
     numerical tolerance for reduced costs and pivots; [max_iter] (default
-    [50_000]) bounds total pivots; [bland_after] (default [5_000]) is the
-    pivot count after which Bland's rule replaces Dantzig's.
+    [200_000]) bounds total pivots; [bland_after] (default [20_000]) is the
+    pivot count after which Bland's rule replaces Dantzig's.  [lex]
+    (default [false]) replaces the uniform anti-degeneracy right-hand-side
+    perturbation with a lexicographic-style geometric one — strictly
+    decreasing per-row magnitudes, so ties between degenerate rows are
+    broken in a fixed row order; the escalation chain's last resort on
+    cycling-prone instances.
     @raise Invalid_argument on inconsistent dimensions. *)
+
+val solution_finite : solution -> bool
+(** No NaN/Inf anywhere in the claimed solution (objective, primal point,
+    duals) — the invariant the resilience layer checks before accepting. *)
 
 val feasibility_error : standard -> float array -> float
 (** [feasibility_error std x] is [|Ax - b|_inf]; a-posteriori check used by

@@ -104,26 +104,53 @@ let stationary_dense t =
     Array.map (fun p -> p /. total) pi
   end
 
+(* States that communicate with [k] in the original chain (forward- and
+   backward-reachable through positive rates).  Used to name the closed
+   class blocking a direct stationary solve. *)
+let communicating_class t k =
+  let n = t.n in
+  let forward = Array.make n false in
+  let rec dfs i =
+    if not forward.(i) then begin
+      forward.(i) <- true;
+      Sparse.iter_row t.q i (fun j v -> if j <> i && v > 0. then dfs j)
+    end
+  in
+  dfs k;
+  let rev = Array.make n [] in
+  Sparse.iter t.q (fun i j v -> if i <> j && v > 0. then rev.(j) <- i :: rev.(j));
+  let backward = Array.make n false in
+  let rec bdfs i =
+    if not backward.(i) then begin
+      backward.(i) <- true;
+      List.iter bdfs rev.(i)
+    end
+  in
+  bdfs k;
+  List.filter (fun i -> forward.(i) && backward.(i)) (List.init n Fun.id)
+
 (* Grassmann–Taksar–Heyman: subtraction-free state elimination, the
    numerically preferred direct method.  Works on the off-diagonal rate
    matrix (GTH is row-scale invariant, so rates need no normalization).
-   Returns [None] when an eliminated state has no transition into the
-   remaining block (chain not irreducible) — callers fall back to the LU
-   path, which picks one closed class like the historical behavior. *)
+   Returns [Error (`Reducible_class states)] when an eliminated state has
+   no transition into the remaining block (chain not irreducible), naming
+   the communicating class of the offending state — callers fall back to
+   the LU path, which picks one closed class like the historical
+   behavior, or report the class in a diagnostic. *)
 let stationary_gth t =
   let n = t.n in
-  if n = 1 then Some [| 1. |]
+  if n = 1 then Ok [| 1. |]
   else begin
     let w = Array.make_matrix n n 0. in
     Sparse.iter t.q (fun i j v -> if i <> j then w.(i).(j) <- v);
-    let exception Reducible in
+    let exception Reducible of int in
     try
       for k = n - 1 downto 1 do
         let s = ref 0. in
         for j = 0 to k - 1 do
           s := !s +. w.(k).(j)
         done;
-        if !s <= 0. then raise Reducible;
+        if !s <= 0. then raise (Reducible k);
         for i = 0 to k - 1 do
           w.(i).(k) <- w.(i).(k) /. !s
         done;
@@ -145,8 +172,8 @@ let stationary_gth t =
         pi.(k) <- acc.contents
       done;
       let total = Vec.sum pi in
-      Some (Array.map (fun p -> p /. total) pi)
-    with Reducible -> None
+      Ok (Array.map (fun p -> p /. total) pi)
+    with Reducible k -> Error (`Reducible_class (communicating_class t k))
   end
 
 let max_exit_rate t = Array.fold_left Float.max 0. t.exit
@@ -156,9 +183,9 @@ let max_exit_rate t = Array.fold_left Float.max 0. t.exit
    formed.  Lambda = 2 max_i exit_i keeps every diagonal of P at >= 1/2
    (strong aperiodicity) — the near-minimal rate used by [uniformize]
    would make P almost periodic on symmetric chains and stall convergence. *)
-let stationary_iterative ?(tol = 1e-13) ?(max_iter = 200_000) t =
+let stationary_iterative_report ?(tol = 1e-13) ?(max_iter = 200_000) t =
   let n = t.n in
-  if n = 1 then [| 1. |]
+  if n = 1 then ([| 1. |], 0, true)
   else begin
     let lambda = Float.max (2. *. max_exit_rate t) 1e-300 in
     let pi = Array.make n (1. /. float_of_int n) in
@@ -178,13 +205,93 @@ let stationary_iterative ?(tol = 1e-13) ?(max_iter = 200_000) t =
     done;
     let pi = Array.map (fun p -> Float.max 0. p) pi in
     let total = Vec.sum pi in
-    Array.map (fun p -> p /. total) pi
+    (Array.map (fun p -> p /. total) pi, !iters, not !continue)
   end
+
+let stationary_iterative ?tol ?max_iter t =
+  let pi, _, _ = stationary_iterative_report ?tol ?max_iter t in
+  pi
 
 let stationary t =
   if t.n <= dense_threshold then
-    match stationary_gth t with Some pi -> pi | None -> stationary_dense t
+    match stationary_gth t with
+    | Ok pi -> pi
+    | Error (`Reducible_class _) -> (
+        (* LU picks one closed class (the historical behavior); a singular
+           system on top of that degrades to the iterative sweep instead
+           of escaping as an exception. *)
+        match stationary_dense t with
+        | pi -> pi
+        | exception Lu.Singular _ -> stationary_iterative t)
   else stationary_iterative t
+
+module Resilience = Bufsize_resilience.Resilience
+
+(* A usable stationary distribution: finite, nonnegative, normalized. *)
+let distribution_valid pi =
+  Resilience.all_finite pi
+  && Array.for_all (fun p -> p >= 0.) pi
+  && Float.abs (Vec.sum pi -. 1.) <= 1e-6
+
+(* ||pi Q||_inf — the balance residual reported in diagnostics. *)
+let stationary_residual t pi =
+  let qt_pi = Array.make t.n 0. in
+  Sparse.mul_vec_t_into t.q pi qt_pi;
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. qt_pi
+
+(* Diagnostic stationary solve: the escalation chain of the ISSUE —
+   direct GTH first at small n (preserving [stationary]'s clean path),
+   uniformized iteration first beyond the dense threshold, each method
+   validated for finiteness/normalization before being trusted, and a
+   reducible chain surfacing its closed class in the rejection reason
+   rather than as an exception. *)
+let stationary_diag ?budget t =
+  let fmt_class cls =
+    let shown = List.filteri (fun i _ -> i < 8) cls in
+    Printf.sprintf "reducible: closed class [%s%s] (%d states)"
+      (String.concat ";" (List.map string_of_int shown))
+      (if List.length cls > 8 then ";..." else "")
+      (List.length cls)
+  in
+  let accept pi iterations =
+    if distribution_valid pi then
+      Resilience.Accept (pi, Resilience.meta ~iterations ~residual:(stationary_residual t pi) ())
+    else Resilience.Reject "invalid distribution (NaN/Inf, negative, or unnormalized)"
+  in
+  let gth _ =
+    match stationary_gth t with
+    | Ok pi -> accept pi 0
+    | Error (`Reducible_class cls) -> Resilience.Reject (fmt_class cls)
+  in
+  let lu _ = accept (stationary_dense t) 0 in
+  let iterative _ =
+    let pi, iters, converged = stationary_iterative_report t in
+    if not (distribution_valid pi) then
+      Resilience.Reject "invalid distribution (NaN/Inf, negative, or unnormalized)"
+    else if converged then
+      Resilience.Accept (pi, Resilience.meta ~iterations:iters ~residual:(stationary_residual t pi) ())
+    else
+      Resilience.Partial
+        ( pi,
+          Resilience.meta ~iterations:iters ~residual:(stationary_residual t pi) (),
+          Printf.sprintf "uniformized iteration unconverged after %d sweeps" iters )
+  in
+  let steps =
+    if t.n <= dense_threshold then
+      [
+        Resilience.step "gth" gth;
+        Resilience.step "lu-dense" lu;
+        Resilience.step "uniformized-iterative" iterative;
+      ]
+    else
+      [
+        Resilience.step "uniformized-iterative" iterative;
+        Resilience.step "gth" gth;
+        Resilience.step "lu-dense" lu;
+      ]
+  in
+  let budget = match budget with Some b -> b | None -> Resilience.of_env () in
+  Resilience.escalate ~solver:(Printf.sprintf "ctmc.stationary(n=%d)" t.n) ~budget steps
 
 let is_irreducible t =
   let n = t.n in

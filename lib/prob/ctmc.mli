@@ -49,24 +49,61 @@ val stationary : t -> Bufsize_numeric.Vec.t
 (** Stationary distribution.  Small chains use GTH elimination (falling
     back to the LU balance-equation solve when the chain is reducible —
     the result is then a stationary distribution of one closed class as
-    selected by the linear solve); large chains use {!stationary_iterative}.
-    @raise Bufsize_numeric.Lu.Singular on pathological generators. *)
+    selected by the linear solve, and a singular LU system degrades
+    further to {!stationary_iterative}); large chains use
+    {!stationary_iterative}.  Use {!stationary_diag} when the caller needs
+    to know which path was taken. *)
 
 val stationary_dense : t -> Bufsize_numeric.Vec.t
 (** The direct LU solve on the dense balance equations, at any size
     (allocates O(n^2)) — the historical semantics, kept as the reducible
     fallback and for cross-checks. *)
 
-val stationary_gth : t -> Bufsize_numeric.Vec.t option
-(** Subtraction-free GTH state elimination; [None] when the chain is not
-    irreducible enough for the elimination order (caller should fall back
-    to {!stationary_dense}).  Allocates O(n^2) work space. *)
+val stationary_gth :
+  t ->
+  (Bufsize_numeric.Vec.t, [ `Reducible_class of int list ]) result
+(** Subtraction-free GTH state elimination;
+    [Error (`Reducible_class states)] when the chain is not irreducible
+    enough for the elimination order, naming the communicating class of
+    the state whose elimination pivot vanished (callers typically fall
+    back to {!stationary_dense}).  Allocates O(n^2) work space. *)
+
+val communicating_class : t -> int -> int list
+(** The communicating class of a state: every state it both reaches and
+    is reached by along positive rates, itself included.  Sorted. *)
 
 val stationary_iterative :
   ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t
 (** Uniformized power iteration through transposed SpMV — O(nnz) per
     sweep, no dense allocation.  [tol] (default [1e-13]) bounds the
     per-sweep max update; [max_iter] defaults to [200_000]. *)
+
+val stationary_iterative_report :
+  ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t * int * bool
+(** {!stationary_iterative} plus the sweep count and whether [tol] was
+    reached within [max_iter] — the convergence evidence the resilience
+    layer needs to distinguish Ok from Degraded. *)
+
+val distribution_valid : Bufsize_numeric.Vec.t -> bool
+(** Finite, nonnegative, and summing to 1 within [1e-6] — the acceptance
+    test applied to every candidate stationary vector in
+    {!stationary_diag}. *)
+
+val stationary_residual : t -> Bufsize_numeric.Vec.t -> float
+(** [|pi Q|_inf], the balance-equation residual (O(nnz)). *)
+
+val stationary_diag :
+  ?budget:Bufsize_resilience.Resilience.budget ->
+  t ->
+  Bufsize_numeric.Vec.t option * Bufsize_resilience.Resilience.diagnostic
+(** Resilient stationary solve with an explicit escalation chain:
+    GTH -> dense LU -> uniformized iteration below the dense threshold
+    (preserving {!stationary}'s clean path as the [Ok] first step),
+    iteration first above it.  Reducible chains are rejected by GTH with
+    the offending closed class in the reason string; an unconverged
+    iteration is kept as a [Partial] best-known answer; every candidate
+    must pass {!distribution_valid} to surface.  [budget] defaults to
+    {!Bufsize_resilience.Resilience.of_env}. *)
 
 val is_irreducible : t -> bool
 (** Graph check: every state reaches every other along positive rates. *)

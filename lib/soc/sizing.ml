@@ -2,6 +2,7 @@ module Lp = Bufsize_numeric.Lp
 module Lp_formulation = Bufsize_mdp.Lp_formulation
 module Kswitching = Bufsize_mdp.Kswitching
 module Pool = Bufsize_pool.Pool
+module Resilience = Bufsize_resilience.Resilience
 
 type solver = Joint | Separate
 
@@ -40,7 +41,27 @@ type result = {
   predicted_loss_rate : float;
   words_per_level : float;
   budget_bound_active : bool;
+  health : Resilience.health;
 }
+
+(* Demote a diagnostic after a recovery the chain itself could not see
+   (e.g. re-solving without the occupancy bound): keep any failure, fold
+   the new defect into a Degraded status, and record the extra fallback. *)
+let demote note fallback (d : Resilience.diagnostic) =
+  match d.Resilience.status with
+  | Resilience.Failed _ -> d
+  | Resilience.Ok ->
+      {
+        d with
+        Resilience.status = Resilience.Degraded note;
+        fallbacks = d.Resilience.fallbacks @ [ fallback ];
+      }
+  | Resilience.Degraded r ->
+      {
+        d with
+        Resilience.status = Resilience.Degraded (r ^ "; " ^ note);
+        fallbacks = d.Resilience.fallbacks @ [ fallback ];
+      }
 
 (* Smallest level whose cumulative stationary probability reaches the
    quantile. *)
@@ -81,6 +102,11 @@ let requirements_for model ~words_per_level ~quantile occupancy =
          (sub.Splitting.bus, c.Bus_model.client, demand))
        loaded)
 
+let bus_label model =
+  Printf.sprintf "bus-%d" (Bus_model.subsystem model).Splitting.bus
+
+let unconstrained_note = "occupancy budget bound not honored: solved unconstrained"
+
 let solve_subsystems ?pool config models =
   let total_levels =
     Array.fold_left (fun acc m -> acc + Bus_model.total_levels m) 0 models
@@ -95,16 +121,25 @@ let solve_subsystems ?pool config models =
   match config.solver with
   | Joint -> (
       let attempt bounds =
-        Lp_formulation.solve_joint ?shared_bounds:bounds ctmdps
+        Lp_formulation.solve_joint_diag ?shared_bounds:bounds ctmdps
       in
       match
         attempt (Some [| { Lp_formulation.sense = Lp.Le; value = bound_levels } |])
       with
-      | Lp_formulation.Joint_optimal j -> (j.Lp_formulation.components, j.Lp_formulation.total_gain, true, words_per_level)
-      | Lp_formulation.Joint_infeasible | Lp_formulation.Joint_unbounded -> (
+      | Some (Lp_formulation.Joint_optimal j), diag ->
+          ( j.Lp_formulation.components,
+            j.Lp_formulation.total_gain,
+            true,
+            words_per_level,
+            [ ("joint-lp", diag) ] )
+      | _ -> (
           match attempt None with
-          | Lp_formulation.Joint_optimal j ->
-              (j.Lp_formulation.components, j.Lp_formulation.total_gain, false, words_per_level)
+          | Some (Lp_formulation.Joint_optimal j), diag ->
+              ( j.Lp_formulation.components,
+                j.Lp_formulation.total_gain,
+                false,
+                words_per_level,
+                [ ("joint-lp", demote unconstrained_note "unconstrained-lp" diag) ] )
           | _ -> failwith "Sizing.run: joint LP failed even without the budget bound"))
   | Separate ->
       let shares =
@@ -115,23 +150,28 @@ let solve_subsystems ?pool config models =
           models
       in
       (* Each subsystem LP is independent (that is the paper's point), so
-         solve them on the pool.  The solver returns (solution, bound kept)
-         pairs instead of flipping a shared flag — no mutable state crosses
-         domains, and the same code path serves the sequential fallback. *)
+         solve them on the pool.  The solver returns (solution, bound kept,
+         diagnostic) triples instead of flipping a shared flag — no mutable
+         state crosses domains, and the same code path serves the
+         sequential fallback. *)
       let solve_one i m =
         let bounds = [| { Lp_formulation.sense = Lp.Le; value = shares.(i) } |] in
-        match Lp_formulation.solve ~extra_bounds:bounds m with
-        | Lp_formulation.Optimal s -> (s, true)
-        | Lp_formulation.Infeasible | Lp_formulation.Unbounded -> (
-            match Lp_formulation.solve m with
-            | Lp_formulation.Optimal s -> (s, false)
+        match Lp_formulation.solve_diag ~extra_bounds:bounds m with
+        | Some (Lp_formulation.Optimal s), diag -> (s, true, diag)
+        | _ -> (
+            match Lp_formulation.solve_diag m with
+            | Some (Lp_formulation.Optimal s), diag ->
+                (s, false, demote unconstrained_note "unconstrained-lp" diag)
             | _ -> failwith "Sizing.run: subsystem LP failed")
       in
       let solved = Pool.mapi_array ?pool solve_one ctmdps in
-      let solutions = Array.map fst solved in
-      let active = Array.for_all snd solved in
+      let solutions = Array.map (fun (s, _, _) -> s) solved in
+      let active = Array.for_all (fun (_, a, _) -> a) solved in
+      let health =
+        Array.to_list (Array.mapi (fun i (_, _, d) -> (bus_label models.(i), d)) solved)
+      in
       let gain = Array.fold_left (fun acc s -> acc +. s.Lp_formulation.gain) 0. solutions in
-      (solutions, gain, active, words_per_level)
+      (solutions, gain, active, words_per_level, health)
 
 let run ?measured_rates ?pool config traffic =
   if config.budget <= 0 then invalid_arg "Sizing.run: budget must be positive";
@@ -164,7 +204,9 @@ let run ?measured_rates ?pool config traffic =
           (apply_profile s))
       split.Splitting.subsystems
   in
-  let solved, total_gain, bound_active, words_per_level = solve_subsystems ?pool config models in
+  let solved, total_gain, bound_active, words_per_level, lp_health =
+    solve_subsystems ?pool config models
+  in
   let solutions =
     Pool.mapi_array ?pool
       (fun i model ->
@@ -188,6 +230,32 @@ let run ?measured_rates ?pool config traffic =
     Array.to_list solutions |> List.concat_map (fun s -> s.requirements)
   in
   let allocation = Buffer_alloc.of_requirements traffic ~budget:config.budget all_requirements in
+  (* Per-subsystem occupancy health: the stationary marginals feeding the
+     quantile requirements must be finite and normalized — a defect here
+     silently corrupts the allocation, so it is surfaced as Degraded. *)
+  let occupancy_health =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           let label = bus_label s.model in
+           let solver = Printf.sprintf "sizing.occupancy(%s)" label in
+           let bad = ref [] in
+           Array.iteri
+             (fun i dist ->
+               let sum = Array.fold_left ( +. ) 0. dist in
+               if not (Resilience.all_finite dist && Float.abs (sum -. 1.) <= 1e-6) then
+                 bad := i :: !bad)
+             s.occupancy;
+           let d =
+             if !bad = [] then Resilience.ok ~solver ()
+             else
+               Resilience.degraded ~solver
+                 (Printf.sprintf "invalid occupancy marginal for client(s) %s"
+                    (String.concat "," (List.rev_map string_of_int !bad)))
+           in
+           (label ^ "-occupancy", d))
+         solutions)
+  in
   {
     config;
     split;
@@ -196,6 +264,7 @@ let run ?measured_rates ?pool config traffic =
     predicted_loss_rate = total_gain;
     words_per_level;
     budget_bound_active = bound_active;
+    health = lp_health @ occupancy_health;
   }
 
 let requirements_of_solution r =
@@ -208,4 +277,6 @@ let pp_summary ppf r =
     r.config.budget
     (Buffer_alloc.num_buffers r.allocation)
     (Array.length r.solutions) r.predicted_loss_rate r.words_per_level
-    (if r.budget_bound_active then "active" else "fallback (unconstrained)")
+    (if r.budget_bound_active then "active" else "fallback (unconstrained)");
+  if not (Resilience.health_ok r.health) then
+    Format.fprintf ppf "@\n%a" Resilience.pp_health r.health

@@ -58,6 +58,13 @@ type result = {
   budget_bound_active : bool;
       (** false when the occupancy bound was infeasible and the solve fell
           back to the unconstrained LP *)
+  health : Bufsize_resilience.Resilience.health;
+      (** per-subsystem solver diagnostics: one entry per LP solve (the
+          joint block LP, or each subsystem LP under [Separate]) plus one
+          per-subsystem occupancy-marginal check.  All-[Ok] on the clean
+          path; any fallback taken anywhere in the pipeline appears here
+          as [Degraded] with its reason — this is what the CLI's
+          [--health] flag prints. *)
 }
 
 val run :

@@ -649,7 +649,7 @@ let split_monolithic =
 
 (* ----------------------------------------------------------- the matrix *)
 
-let all = [ simplex_cross; mdp_gain; sim_analytic; sizing_bounds; split_monolithic ]
+let all = [ simplex_cross; mdp_gain; sim_analytic; sizing_bounds; split_monolithic; Chaos.oracle ]
 
 let find name = List.find_opt (fun o -> o.name = name) all
 
@@ -674,6 +674,15 @@ let case_of_repro text =
       Result.map ctmdp_case_to_oracle_case (Gen_model.ctmdp_case_of_string text)
   | Some "split-monolithic" ->
       Result.map monolithic_case_to_oracle_case (Gen_model.monolithic_of_string text)
+  | Some "chaos" -> (
+      match (header_value ~prefix:"# fault:" text, header_value ~prefix:"# seed:" text) with
+      | None, _ -> Error "chaos repro has no '# fault:' header"
+      | _, None -> Error "chaos repro has no '# seed:' header"
+      | Some fname, Some sname -> (
+          match (Chaos.fault_of_name fname, int_of_string_opt sname) with
+          | None, _ -> Error ("chaos: unknown fault kind: " ^ fname)
+          | _, None -> Error ("chaos: bad seed: " ^ sname)
+          | Some fault, Some seed -> Ok (Chaos.case ~fault ~seed)))
   | Some "sim-analytic" -> (
       (* Buffer capacity and sim seed live in the mm1k header; lambda and
          mu are recovered from the embedded single-bus architecture. *)

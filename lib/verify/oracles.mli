@@ -14,7 +14,12 @@
       round-trips.
     - [split-monolithic]: the split linear solution vs damped Newton and a
       Picard fixed point on the monolithic quadratic closure; exact
-      agreement on the decoupled ([cross_fraction = 0]) boundary. *)
+      agreement on the decoupled ([cross_fraction = 0]) boundary.
+    - [chaos] ({!Chaos.oracle}): injected numeric faults (singular bases,
+      degenerate pivots, rate underflow/overflow, reducible chains,
+      expired budgets, stiff closures) must surface as structured
+      [Degraded]/[Failed] diagnostics — never an uncaught exception, a
+      NaN/Inf result, or a silently drifted [Ok] answer. *)
 
 val all : Oracle.t list
 
