@@ -727,9 +727,106 @@ let run_sparse () =
         "@.  policy evaluation at %d states: %.2fx faster, %.1fx less allocation sparse@."
         states speedup alloc_ratio
 
+(* ------------------------------------------------------------------ OBS *)
+
+(* Telemetry overhead on the Table 1 sizing run: the same netproc sizing
+   timed with telemetry fully disabled and with spans + metrics enabled.
+   The acceptance bar is < 3% overhead when DISABLED vs the instrumented
+   build's enabled mode staying cheap; both numbers and the headline
+   metric values go to BENCH_obs.json.  The sized allocation is also
+   cross-checked bitwise between the two modes — telemetry must only
+   observe. *)
+
+let obs_json : (string * string) list ref = ref []
+
+let write_obs_json path =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"bufsize-bench-obs-v1\"";
+  List.iter (fun (k, v) -> Printf.fprintf oc ",\n  %S: %s" k v) (List.rev !obs_json);
+  output_string oc "\n}\n";
+  close_out oc;
+  Format.printf "@.(json written to %s)@." path
+
+let run_obs () =
+  section "OBS: telemetry overhead on the Table 1 sizing run (netproc, budget 160)";
+  let _, traffic = B.Netproc.create () in
+  let config = { (B.Sizing.default_config ~budget:160) with B.Sizing.max_states = 64 } in
+  let reps = 5 in
+  let time_one () =
+    let t0 = Unix.gettimeofday () in
+    let r = B.Sizing.run config traffic in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* Interleave disabled/enabled reps (rather than two back-to-back
+     blocks) so machine-load drift hits both modes equally; min over the
+     reps is the stable statistic for overhead comparisons. *)
+  let enable () =
+    B.Obs.enable_spans ();
+    B.Obs.enable_metrics ()
+  in
+  B.Obs.disable ();
+  B.Obs.reset ();
+  ignore (time_one ());
+  enable ();
+  B.Obs.reset ();
+  ignore (time_one ());
+  let t_off = ref infinity and t_on = ref infinity in
+  let r_off = ref None and r_on = ref None in
+  for _ = 1 to reps do
+    B.Obs.disable ();
+    B.Obs.reset ();
+    let dt, r = time_one () in
+    if dt < !t_off then t_off := dt;
+    r_off := Some r;
+    enable ();
+    B.Obs.reset ();
+    let dt, r = time_one () in
+    if dt < !t_on then t_on := dt;
+    r_on := Some r
+  done;
+  let t_off = !t_off and t_on = !t_on in
+  let r_off = Option.get !r_off and r_on = Option.get !r_on in
+  Format.printf "  %-10s min over %d runs: %8.3f s@." "disabled" reps t_off;
+  Format.printf "  %-10s min over %d runs: %8.3f s@." "enabled" reps t_on;
+  let identical = r_off.B.Sizing.allocation = r_on.B.Sizing.allocation in
+  let overhead_pct = 100. *. (t_on -. t_off) /. t_off in
+  let nspans = List.length (B.Obs.recorded_spans ()) in
+  Format.printf "  overhead enabled vs disabled: %+.2f%% (%d spans recorded)@." overhead_pct
+    nspans;
+  Format.printf "  allocation identical with telemetry on/off: %b@." identical;
+  let metric name =
+    List.find_map
+      (function
+        | B.Obs.Counter (n, v) when n = name -> Some v
+        | B.Obs.Counter _ | B.Obs.Gauge _ | B.Obs.Histogram _ -> None)
+      (B.Obs.metrics_snapshot ())
+    |> Option.value ~default:0
+  in
+  let pivots = metric "simplex.pivots" + metric "simplex_revised.pivots" in
+  let fallbacks = metric "resilience.fallbacks" in
+  Format.printf "  simplex pivots %d, escalation fallbacks %d@." pivots fallbacks;
+  obs_json :=
+    [
+      ("workload", "\"sizing:netproc:budget=160\"");
+      ("reps", string_of_int reps);
+      ("disabled_seconds", Printf.sprintf "%.6f" t_off);
+      ("enabled_seconds", Printf.sprintf "%.6f" t_on);
+      ("overhead_pct", Printf.sprintf "%.3f" overhead_pct);
+      ("spans_recorded", string_of_int nspans);
+      ("simplex_pivots", string_of_int pivots);
+      ("resilience_fallbacks", string_of_int fallbacks);
+      ("allocation_identical", string_of_bool identical);
+    ]
+    |> List.rev;
+  record "obs:sizing-table1:disabled" t_off;
+  record "obs:sizing-table1:enabled" t_on;
+  B.Obs.disable ();
+  B.Obs.reset ()
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
+  B.Obs.init_from_env ();
   let artifacts = [ "fig1"; "nonlinear"; "fig3"; "table1" ] in
   let ablations =
     [
@@ -741,6 +838,7 @@ let () =
       "parallel";
       "perf";
       "sparse";
+      "obs";
     ]
   in
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
@@ -767,6 +865,7 @@ let () =
       | "parallel" -> run_parallel ()
       | "perf" -> run_perf ()
       | "sparse" -> run_sparse ()
+      | "obs" -> run_obs ()
       | other ->
           known := false;
           Format.printf "unknown artifact %S; known: %s@." other
@@ -775,4 +874,5 @@ let () =
     selected;
   if List.exists (fun a -> a = "perf" || a = "parallel") selected then
     write_bench_json "BENCH_parallel.json";
-  if List.mem "sparse" selected then write_sparse_json "BENCH_sparse.json"
+  if List.mem "sparse" selected then write_sparse_json "BENCH_sparse.json";
+  if List.mem "obs" selected then write_obs_json "BENCH_obs.json"

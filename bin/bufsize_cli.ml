@@ -116,6 +116,41 @@ let weight_fn topo specs =
     | B.Traffic.Proc_client p -> Option.value ~default:1. (Hashtbl.find_opt table p)
     | B.Traffic.Bridge_client _ -> 1.
 
+(* ------------------------------------------------------------ telemetry *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of the run to $(docv) (loadable in Perfetto / \
+     chrome://tracing, one track per domain). Implies metric collection."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Collect metrics and print a summary table to stderr after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_json_arg =
+  let doc = "Collect metrics and write them as a JSON object to $(docv) ($(b,-) = stdout)." in
+  Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
+(* Exporters run from [at_exit] so they fire even on the [exit 1] paths
+   (e.g. verify failures), matching the BUFSIZE_TRACE env-var behaviour. *)
+let setup_telemetry trace metrics metrics_json =
+  if trace <> None then B.Obs.enable_spans ();
+  if trace <> None || metrics || metrics_json <> None then B.Obs.enable_metrics ();
+  if trace <> None || metrics || metrics_json <> None then
+    at_exit (fun () ->
+        Option.iter B.Obs.write_chrome_trace trace;
+        (match metrics_json with
+        | None -> ()
+        | Some "-" -> print_endline (B.Obs.metrics_json ())
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (B.Obs.metrics_json ());
+            output_char oc '\n';
+            close_out oc);
+        if metrics then Format.eprintf "%a@." B.Obs.pp_summary ())
+
 (* ----------------------------------------------------------------- info *)
 
 let info_cmd =
@@ -139,7 +174,8 @@ let size_cmd =
     let doc = "Print the solver health report as JSON (implies machine-readable output only for the report)." in
     Arg.(value & flag & info [ "health-json" ] ~doc)
   in
-  let run arch file budget max_states weights health health_json =
+  let run arch file budget max_states weights health health_json trace metrics metrics_json =
+    setup_telemetry trace metrics metrics_json;
     let topo, traffic = load_arch arch file in
     let config =
       {
@@ -166,7 +202,7 @@ let size_cmd =
   Cmd.v (Cmd.info "size" ~doc)
     Term.(
       const run $ arch_arg $ file_arg $ budget_arg $ max_states_arg $ weights_arg $ health_arg
-      $ health_json_arg)
+      $ health_json_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------- simulate *)
 
@@ -179,7 +215,8 @@ let simulate_cmd =
     let doc = "Timeout threshold for the timeout drop policy (0 = off)." in
     Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"T" ~doc)
   in
-  let run arch file budget policy timeout horizon seed max_states =
+  let run arch file budget policy timeout horizon seed max_states trace metrics metrics_json =
+    setup_telemetry trace metrics metrics_json;
     let _, traffic = load_arch arch file in
     let allocation =
       match policy with
@@ -206,7 +243,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ arch_arg $ file_arg $ budget_arg $ policy_arg $ timeout_arg $ horizon_arg
-      $ seed_arg $ max_states_arg)
+      $ seed_arg $ max_states_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ dot *)
 
@@ -263,7 +300,8 @@ let verify_cmd =
     in
     Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE.repro" ~doc)
   in
-  let run seed count oracle_names out_dir max_states list replay =
+  let run seed count oracle_names out_dir max_states list replay trace metrics metrics_json =
+    setup_telemetry trace metrics metrics_json;
     let module V = B.Verify in
     if list then
       List.iter
@@ -310,12 +348,14 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ oracle_arg $ out_dir_arg $ verify_max_states_arg
-      $ list_arg $ replay_arg)
+      $ list_arg $ replay_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
-  let run arch file budget replications horizon seed max_states weights =
+  let run arch file budget replications horizon seed max_states weights trace metrics
+      metrics_json =
+    setup_telemetry trace metrics metrics_json;
     let topo, traffic = load_arch arch file in
     let exp =
       B.experiment ~budget ~replications ~horizon ~seed
@@ -335,9 +375,10 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc)
     Term.(
       const run $ arch_arg $ file_arg $ budget_arg $ replications_arg $ horizon_arg $ seed_arg
-      $ max_states_arg $ weights_arg)
+      $ max_states_arg $ weights_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let () =
+  B.Obs.init_from_env ();
   let doc = "CTMDP buffer insertion and optimal buffer sizing for SoC architectures" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit

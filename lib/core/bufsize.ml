@@ -1,3 +1,4 @@
+module Obs = Bufsize_obs.Obs
 module Pool = Bufsize_pool.Pool
 module Resilience = Bufsize_resilience.Resilience
 module Numeric = Bufsize_numeric

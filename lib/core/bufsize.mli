@@ -24,6 +24,12 @@
 
 (** {1 Re-exported layers} *)
 
+module Obs = Bufsize_obs.Obs
+(** Hierarchical spans, the metrics registry, and the Chrome-trace /
+    JSONL exporters ([BUFSIZE_TRACE], [BUFSIZE_METRICS]).  Telemetry is
+    observational only: results are bitwise identical with tracing on or
+    off. *)
+
 module Pool = Bufsize_pool.Pool
 
 module Resilience = Bufsize_resilience.Resilience

@@ -122,9 +122,15 @@ let run_items pool f n =
       done
     else begin
       let error = Atomic.make None in
+      (* Spans opened inside pooled items run on worker domains, where the
+         caller's span stack is invisible; capturing the caller's span
+         context here and restoring it around each item parents them
+         correctly (and costs nothing when tracing is off). *)
+      let ctx = Bufsize_obs.Obs.current_context () in
       let guarded i =
         if Atomic.get error = None then
-          try f i with e -> ignore (Atomic.compare_and_set error None (Some e))
+          try Bufsize_obs.Obs.with_context ctx (fun () -> f i)
+          with e -> ignore (Atomic.compare_and_set error None (Some e))
       in
       let job =
         {

@@ -16,8 +16,19 @@
    best partial answer so a hung or failing solve degrades to the
    best-known answer instead of spinning or crashing.
 
-   This module sits below lib/numeric in the dependency order and must
-   not depend on any other bufsize library. *)
+   This module sits below lib/numeric in the dependency order and
+   depends only on the telemetry layer (Bufsize_obs), which sits at the
+   very bottom. *)
+
+module Obs = Bufsize_obs.Obs
+
+(* Escalation telemetry: every step taken beyond the first is a fallback;
+   chains that end without a usable answer count as failures.  The spans
+   make each escalation chain (and each step inside it) visible in the
+   Chrome trace, and the diagnostic carries the chain's span id so
+   --health-json and the trace cross-reference. *)
+let m_fallbacks = Obs.counter "resilience.fallbacks"
+let m_failures = Obs.counter "resilience.failures"
 
 (* ------------------------------------------------------------- status *)
 
@@ -42,11 +53,12 @@ type diagnostic = {
   residual : float;  (* NaN when the solver has no residual notion *)
   wall_ms : float;
   fallbacks : string list;  (* escalation steps taken, oldest first *)
+  span_id : int;  (* id of the escalation span in the trace; 0 = no span *)
 }
 
 let make ?(iterations = 0) ?(residual = Float.nan) ?(wall_ms = 0.)
-    ?(fallbacks = []) ~solver status =
-  { solver; status; iterations; residual; wall_ms; fallbacks }
+    ?(fallbacks = []) ?(span_id = 0) ~solver status =
+  { solver; status; iterations; residual; wall_ms; fallbacks; span_id }
 
 let ok ?iterations ?residual ?wall_ms ?fallbacks ~solver () =
   make ?iterations ?residual ?wall_ms ?fallbacks ~solver Ok
@@ -92,6 +104,7 @@ let json_escape s =
       | '"' -> Buffer.add_string b "\\\""
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
       | '\t' -> Buffer.add_string b "\\t"
       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
@@ -108,11 +121,12 @@ let to_json d =
     | Failed r -> ("failed", Some r)
   in
   Printf.sprintf
-    "{\"solver\":\"%s\",\"status\":\"%s\",\"reason\":%s,\"iterations\":%d,\"residual\":%s,\"wall_ms\":%s,\"fallbacks\":[%s]}"
+    "{\"solver\":\"%s\",\"status\":\"%s\",\"reason\":%s,\"iterations\":%d,\"residual\":%s,\"wall_ms\":%s,\"fallbacks\":[%s],\"span\":%s}"
     (json_escape d.solver) status
     (match reason with None -> "null" | Some r -> Printf.sprintf "\"%s\"" (json_escape r))
     d.iterations (json_float d.residual) (json_float d.wall_ms)
     (String.concat "," (List.map (fun f -> Printf.sprintf "\"%s\"" (json_escape f)) d.fallbacks))
+    (if d.span_id = 0 then "null" else string_of_int d.span_id)
 
 (* ------------------------------------------------------------- budget *)
 
@@ -188,9 +202,12 @@ let step name run = { step_name = name; run }
    Uncaught exceptions in a step are converted into rejections, so a
    chain can never let a solver exception escape. *)
 let escalate ~solver ?(budget = unlimited) steps =
+  Obs.span_with_id ~name:solver @@ fun chain_span ->
   let t0 = now_s () in
   let finish status value m fallbacks =
     let wall_ms = (now_s () -. t0) *. 1000. in
+    Obs.add m_fallbacks (List.length fallbacks);
+    (match status with Failed _ -> Obs.incr m_failures | Ok | Degraded _ -> ());
     ( value,
       {
         solver;
@@ -199,7 +216,13 @@ let escalate ~solver ?(budget = unlimited) steps =
         residual = m.m_residual;
         wall_ms;
         fallbacks = List.rev fallbacks;
+        span_id = chain_span;
       } )
+  in
+  let run_step s budget =
+    (* Each step is a child span of the chain; an exception still closes
+       the span before being converted into a rejection below. *)
+    Obs.span ~name:("step:" ^ s.step_name) (fun () -> s.run budget)
   in
   let no_meta = meta () in
   let rec go steps ~first_reject ~best ~fallbacks =
@@ -225,7 +248,7 @@ let escalate ~solver ?(budget = unlimited) steps =
         end
         else begin
           let outcome =
-            match s.run budget with
+            match run_step s budget with
             | o -> o
             | exception e -> Reject (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
           in
@@ -261,7 +284,7 @@ let escalate ~solver ?(budget = unlimited) steps =
         go steps ~first_reject:None ~best:None ~fallbacks:[]
       else
         let outcome =
-          match first.run budget with
+          match run_step first budget with
           | o -> o
           | exception e -> Reject (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
         in

@@ -1,4 +1,5 @@
 module Lp = Bufsize_numeric.Lp
+module Obs = Bufsize_obs.Obs
 
 type bound = { sense : Lp.sense; value : float }
 
@@ -262,7 +263,19 @@ let solve_joint ?shared_bounds ?max_iter ?engine models =
     (Lp.solve ?max_iter ?engine lp)
 
 let solve_joint_diag ?shared_bounds ?max_iter ?engine ?budget models =
-  let lp, blocks, n_structural_rows, num_extras = assemble_joint ?shared_bounds models in
+  let lp, blocks, n_structural_rows, num_extras =
+    Obs.span ~name:"lp_formulation.assemble_joint"
+      ~attrs:(fun () -> [ ("blocks", string_of_int (Array.length models)) ])
+      (fun () -> assemble_joint ?shared_bounds models)
+  in
+  Obs.span ~name:"lp_formulation.solve_joint"
+    ~attrs:(fun () ->
+      [
+        ("blocks", string_of_int (Array.length models));
+        ("rows", string_of_int (Lp.num_constraints lp));
+        ("nnz", string_of_int (Lp.num_terms lp));
+      ])
+  @@ fun () ->
   let o, diag = Lp.solve_diag ?max_iter ?engine ?budget lp in
   ( Option.map
       (joint_outcome_of_lp ?shared_bounds models blocks n_structural_rows num_extras)

@@ -3,6 +3,12 @@ module Vec = Bufsize_numeric.Vec
 module Lu = Bufsize_numeric.Lu
 module Sparse = Bufsize_numeric.Sparse
 module Ctmc = Bufsize_prob.Ctmc
+module Obs = Bufsize_obs.Obs
+
+(* Evaluation telemetry: Poisson-equation sweeps of the iterative policy
+   evaluation and improvement rounds of the outer policy iteration. *)
+let m_poisson_sweeps = Obs.counter "policy_iteration.poisson_sweeps"
+let m_improvements = Obs.counter "policy_iteration.improvements"
 
 type result = {
   policy : Policy.t;
@@ -82,6 +88,7 @@ let evaluate_deterministic_iterative_report ?(tol = 1e-10) ?(max_iter = 200_000)
     incr iters;
     if !residual <= tol *. scale then continue := false
   done;
+  Obs.add m_poisson_sweeps !iters;
   (g, h, !iters, not !continue)
 
 let evaluate_deterministic_iterative ?tol ?max_iter m choice =
@@ -173,7 +180,8 @@ let solve ?(max_iter = 1000) ?(tol = 1e-9) ?initial m =
     | None -> Array.make n 0
   in
   let rec loop choice iters =
-    let gain, bias = evaluate m choice in
+    Obs.incr m_improvements;
+    let gain, bias = Obs.span ~name:"policy_iteration.evaluate" (fun () -> evaluate m choice) in
     if iters >= max_iter then
       { policy = Policy.deterministic m choice; choice; gain; bias; iterations = iters; converged = false }
     else begin

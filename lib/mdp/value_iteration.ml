@@ -1,4 +1,7 @@
 module Vec = Bufsize_numeric.Vec
+module Obs = Bufsize_obs.Obs
+
+let m_sweeps = Obs.counter "value_iteration.sweeps"
 
 type result = {
   values : Vec.t;
@@ -73,6 +76,7 @@ let solve ?(max_iter = 100_000) ?(tol = 1e-9) ~alpha m =
     !hi -. !lo
   in
   let rec loop v iters =
+    Obs.incr m_sweeps;
     let next, choice = bellman v in
     let sp = span next v in
     if sp <= tol || iters >= max_iter then

@@ -74,6 +74,7 @@ let add_vars ?(prefix = "x") t k =
 let var_name t v = t.var_names.(v)
 let num_vars t = t.vars
 let num_constraints t = t.nrows
+let num_terms t = t.nterms
 
 let check_var t v fn =
   if v < 0 || v >= t.vars then invalid_arg (Printf.sprintf "Lp.%s: unknown variable %d" fn v)
@@ -341,6 +342,7 @@ let pp_outcome ppf = function
 (* ------------------------------------------------------- resilient solve *)
 
 module Resilience = Bufsize_resilience.Resilience
+module Obs = Bufsize_obs.Obs
 
 (* Worst constraint violation of [values] in user (pre-lowering) space,
    reported as the diagnostic residual. *)
@@ -403,7 +405,14 @@ let outcome_finite = function
 
    Returns [None] (with a [Failed] diagnostic) only when every step
    rejected. *)
+let m_lp_solves = Obs.counter "lp.solves"
+let g_lp_rows = Obs.gauge "lp.rows"
+let g_lp_nnz = Obs.gauge "lp.nnz"
+
 let solve_diag ?eps ?max_iter ?engine ?budget t =
+  Obs.incr m_lp_solves;
+  Obs.set_gauge g_lp_rows (float_of_int t.nrows);
+  Obs.set_gauge g_lp_nnz (float_of_int t.nterms);
   let primary = choose_engine t engine in
   let attempt ?bland_after ?lex engine _budget =
     let o = solve ?eps ?max_iter ~engine ?bland_after ?lex t in

@@ -39,6 +39,9 @@ val num_vars : t -> int
 
 val num_constraints : t -> int
 
+val num_terms : t -> int
+(** Total nonzero coefficients across all constraint rows. *)
+
 val set_objective : t -> (float * var) list -> unit
 (** Linear objective; later coefficients for the same variable accumulate. *)
 

@@ -1,3 +1,11 @@
+module Obs = Bufsize_obs.Obs
+
+(* Pivot-level telemetry: one guarded atomic add per pivot (a pivot is
+   already O(width) work) and per tableau refactorization.  Disabled:
+   one atomic load and branch. *)
+let m_pivots = Obs.counter "simplex.pivots"
+let m_refactorizations = Obs.counter "simplex.refactorizations"
+
 type standard = {
   nrows : int;
   ncols : int;
@@ -64,6 +72,7 @@ let build_tableau std =
    tableaus of the occupation-measure LPs most entries are exactly zero, so
    the skipped work dominates. *)
 let pivot tab row col =
+  Obs.incr m_pivots;
   let { width; t; nz; _ } = tab in
   let pbase = row * width in
   let pval = Array.unsafe_get t (pbase + col) in
@@ -426,6 +435,7 @@ let refined_solution std tab iterations =
    long pivot runs; without it the heavily degenerate CTMDP occupation LPs
    corrupt their right-hand sides after a few thousand pivots. *)
 let refactorize std tab ~art_cost ~costs =
+  Obs.incr m_refactorizations;
   let m = tab.m in
   let flip i = if std.b.(i) < 0. then -1. else 1. in
   let bmat =
@@ -552,8 +562,11 @@ let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(bland_after = 20_000) ?(lex = fa
     let zero_costs = Array.make tab.n 0. in
     let refactor1 () = refactorize work tab ~art_cost:1. ~costs:zero_costs in
     let outcome1, iters1 =
-      run_phase tab ~eps ~max_iter ~bland_after ~refactor_every ~refactor:refactor1
-        ~allow:allow_all 0
+      Obs.span ~name:"simplex.phase1"
+        ~attrs:(fun () -> [ ("rows", string_of_int tab.m); ("cols", string_of_int tab.n) ])
+        (fun () ->
+          run_phase tab ~eps ~max_iter ~bland_after ~refactor_every ~refactor:refactor1
+            ~allow:allow_all 0)
     in
     refactor1 ();
     let phase1_obj = -.tget tab tab.m (tab.width - 1) in
@@ -567,8 +580,11 @@ let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(bland_after = 20_000) ?(lex = fa
         let structural j = j < tab.n in
         let refactor2 () = refactorize work tab ~art_cost:0. ~costs:work.c in
         let outcome2, iters2 =
-          run_phase tab ~eps ~max_iter ~bland_after ~refactor_every ~refactor:refactor2
-            ~allow:structural iters1
+          Obs.span ~name:"simplex.phase2"
+            ~attrs:(fun () -> [ ("rows", string_of_int tab.m); ("cols", string_of_int tab.n) ])
+            (fun () ->
+              run_phase tab ~eps ~max_iter ~bland_after ~refactor_every ~refactor:refactor2
+                ~allow:structural iters1)
         in
         match outcome2 with
         | Phase_unbounded -> `Unbounded
@@ -583,6 +599,10 @@ let solve ?(eps = 1e-9) ?(max_iter = 200_000) ?(bland_after = 20_000) ?(lex = fa
   in
   let debug = Sys.getenv_opt "BUFSIZE_SIMPLEX_DEBUG" <> None in
   let timed label f =
+    Obs.span ~name:"simplex.dense"
+      ~attrs:(fun () ->
+        [ ("run", label); ("rows", string_of_int std.nrows); ("cols", string_of_int std.ncols) ])
+    @@ fun () ->
     if not debug then f ()
     else begin
       let t0 = Sys.time () in

@@ -12,6 +12,13 @@
    and [solve_sparse] share one pivot path (and produce bitwise-identical
    trajectories on the same problem). *)
 
+module Obs = Bufsize_obs.Obs
+
+(* Same pivot/refactorization telemetry as the dense engine, under its
+   own metric names so the two engines stay distinguishable. *)
+let m_pivots = Obs.counter "simplex_revised.pivots"
+let m_refactorizations = Obs.counter "simplex_revised.refactorizations"
+
 type sparse_standard = {
   snrows : int;
   sncols : int;
@@ -105,6 +112,7 @@ let dense_column eng j =
 (* Rebuild the basis factorization from scratch; returns false on a
    (numerically) singular basis. *)
 let refactorize eng =
+  Obs.incr m_refactorizations;
   let bmat =
     Mat.init eng.m eng.m (fun i j ->
         let col = eng.basis.(j) in
@@ -200,6 +208,7 @@ let run_phase eng ~eps ~max_iter ~refactor_every ~allow ~cost_of iterations =
           eng.basis.(r) <- q;
           eng.etas <- { er = r; ew = w } :: eng.etas;
           eng.neta <- eng.neta + 1;
+          Obs.incr m_pivots;
           incr iters;
           if eng.neta >= refactor_every then
             if not (refactorize eng) then outcome := Some Singular_basis
@@ -274,6 +283,7 @@ let dual_cleanup eng ~refactor_every ~allow ~cost_of =
             eng.basis.(!r) <- q;
             eng.etas <- { er = !r; ew = w } :: eng.etas;
             eng.neta <- eng.neta + 1;
+            Obs.incr m_pivots;
             incr pivots;
             if eng.neta >= refactor_every then
               if not (refactorize eng) then continue := false
@@ -344,6 +354,10 @@ let best_effort eng iterations =
   { Simplex.x; objective = !objective; duals = Array.make eng.m Float.nan; basis = Array.copy eng.basis; iterations }
 
 let solve_once ~eps ~max_iter ~refactor_every ~perturbed sp =
+  Obs.span ~name:"simplex.revised"
+    ~attrs:(fun () ->
+      [ ("rows", string_of_int sp.snrows); ("cols", string_of_int sp.sncols) ])
+  @@ fun () ->
   let eng = create ~perturbed sp in
   let allow_all j = j < eng.n + eng.m in
   let phase1_cost j = if j < eng.n then 0. else 1. in

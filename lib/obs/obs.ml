@@ -1,0 +1,528 @@
+(* Telemetry core.  Three design rules govern everything here:
+
+   1. The disabled path costs one atomic load and a branch — [span] and
+      the metric mutators may sit inside simplex pivots, SpMV, and the
+      DES event loop.  The disabled path must also not allocate (the
+      test suite asserts this with a Gc.minor_words delta).
+   2. Recording never synchronizes across domains on the hot path: span
+      buffers are domain-local (Domain.DLS), metric shards are striped
+      atomics indexed by domain id.  Readers merge; writers never wait.
+   3. Telemetry only observes.  Nothing in the numeric pipeline may
+      read a value produced here, so results are bitwise-identical with
+      tracing on or off. *)
+
+external now_ns : unit -> int64 = "bufsize_obs_now_ns"
+
+(* ------------------------------------------------------------ enabling *)
+
+let spans_on = Atomic.make false
+let metrics_on = Atomic.make false
+
+let spans_enabled () = Atomic.get spans_on
+let metrics_enabled () = Atomic.get metrics_on
+
+(* Trace epoch: exported timestamps are relative to the last
+   [enable_spans] so traces start near t=0. *)
+let epoch_ns = Atomic.make 0L
+
+let enable_spans () =
+  Atomic.set epoch_ns (now_ns ());
+  Atomic.set spans_on true
+
+let enable_metrics () = Atomic.set metrics_on true
+
+let disable () =
+  Atomic.set spans_on false;
+  Atomic.set metrics_on false
+
+(* ------------------------------------------------------------- spans *)
+
+type span_record = {
+  sid : int;
+  sparent : int;
+  sname : string;
+  strack : int;
+  sstart_ns : int64;
+  sdur_ns : int64;
+  salloc_minor_w : float;
+  sattrs : (string * string) list;
+}
+
+(* Per-domain span state.  Mutated only by the owning domain; the
+   exporter reads it when the pipeline is quiescent (end of run). *)
+type dstate = {
+  did : int;
+  mutable open_ : int list;  (* ids of open spans, innermost first *)
+  mutable ctx : int;  (* propagated parent used when [open_] is empty *)
+  mutable completed : span_record list;  (* newest first *)
+  mutable nspans : int;
+  mutable dropped : int;
+}
+
+let max_spans_per_domain = 1 lsl 17
+
+let registry_m = Mutex.create ()
+let registry : dstate list ref = ref []
+
+let dstate_key =
+  Domain.DLS.new_key (fun () ->
+      let ds =
+        {
+          did = (Domain.self () :> int);
+          open_ = [];
+          ctx = 0;
+          completed = [];
+          nspans = 0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock registry_m;
+      registry := ds :: !registry;
+      Mutex.unlock registry_m;
+      ds)
+
+let dstate () = Domain.DLS.get dstate_key
+
+let next_id = Atomic.make 1
+
+let record_span attrs name f =
+  let ds = dstate () in
+  let id = Atomic.fetch_and_add next_id 1 in
+  let parent = match ds.open_ with p :: _ -> p | [] -> ds.ctx in
+  ds.open_ <- id :: ds.open_;
+  let w0 = Gc.minor_words () in
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = now_ns () in
+      let w1 = Gc.minor_words () in
+      (match ds.open_ with _ :: tl -> ds.open_ <- tl | [] -> ());
+      if ds.nspans >= max_spans_per_domain then ds.dropped <- ds.dropped + 1
+      else begin
+        let sattrs = match attrs with None -> [] | Some g -> ( try g () with _ -> []) in
+        ds.completed <-
+          {
+            sid = id;
+            sparent = parent;
+            sname = name;
+            strack = ds.did;
+            sstart_ns = t0;
+            sdur_ns = Int64.sub t1 t0;
+            salloc_minor_w = w1 -. w0;
+            sattrs;
+          }
+          :: ds.completed;
+        ds.nspans <- ds.nspans + 1
+      end)
+    (fun () -> f id)
+
+let span ?attrs ~name f =
+  if not (Atomic.get spans_on) then f () else record_span attrs name (fun _ -> f ())
+
+let span_with_id ?attrs ~name f =
+  if not (Atomic.get spans_on) then f 0 else record_span attrs name f
+
+let current_context () =
+  if not (Atomic.get spans_on) then 0
+  else
+    let ds = dstate () in
+    match ds.open_ with p :: _ -> p | [] -> ds.ctx
+
+let with_context parent f =
+  if parent = 0 || not (Atomic.get spans_on) then f ()
+  else begin
+    let ds = dstate () in
+    let saved = ds.ctx in
+    ds.ctx <- parent;
+    Fun.protect ~finally:(fun () -> ds.ctx <- saved) f
+  end
+
+let recorded_spans () =
+  Mutex.lock registry_m;
+  let states = !registry in
+  Mutex.unlock registry_m;
+  let all = List.concat_map (fun ds -> ds.completed) states in
+  List.sort (fun a b -> Int64.compare a.sstart_ns b.sstart_ns) all
+
+let dropped_spans () =
+  Mutex.lock registry_m;
+  let states = !registry in
+  Mutex.unlock registry_m;
+  List.fold_left (fun acc ds -> acc + ds.dropped) 0 states
+
+(* ------------------------------------------------------------ metrics *)
+
+(* Shards are striped by domain id: merging sums every stripe, so any
+   interleaving or assignment of increments to stripes yields the same
+   totals (the qcheck suite checks permutation-independence through
+   [Internal]).  32 stripes keeps contention negligible even when domain
+   ids collide modulo the stripe count. *)
+let stripes = 32
+
+let stripe_of_self () = (Domain.self () :> int) land (stripes - 1)
+
+type counter = { c_name : string; c_shards : int Atomic.t array }
+type gauge = { g_name : string; g_bits : int64 Atomic.t }
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : int array;
+}
+
+let bucket_bounds = [| 1e-12; 1e-10; 1e-8; 1e-6; 1e-4; 1e-2; 1.; 1e2; 1e4 |]
+
+let nbuckets = Array.length bucket_bounds + 1
+
+type hshard = {
+  hs_count : int Atomic.t;
+  hs_sum : int64 Atomic.t;  (* float bits, CAS-updated *)
+  hs_min : int64 Atomic.t;
+  hs_max : int64 Atomic.t;
+  hs_buckets : int Atomic.t array;
+}
+
+type histogram = { h_name : string; h_shards : hshard array }
+
+type metric = MCounter of counter | MGauge of gauge | MHistogram of histogram
+
+let metric_name = function
+  | MCounter c -> c.c_name
+  | MGauge g -> g.g_name
+  | MHistogram h -> h.h_name
+
+let metrics_m = Mutex.create ()
+let metrics : metric list ref = ref []  (* reverse registration order *)
+
+let register name make same =
+  Mutex.lock metrics_m;
+  let found = List.find_opt (fun m -> metric_name m = name) !metrics in
+  let r =
+    match found with
+    | Some m -> (
+        match same m with
+        | Some v -> v
+        | None ->
+            Mutex.unlock metrics_m;
+            invalid_arg (Printf.sprintf "Obs: metric %S already registered with another kind" name))
+    | None ->
+        let v = make () in
+        metrics := v :: !metrics;
+        (match same v with Some x -> x | None -> assert false)
+  in
+  Mutex.unlock metrics_m;
+  r
+
+let counter name =
+  register name
+    (fun () -> MCounter { c_name = name; c_shards = Array.init stripes (fun _ -> Atomic.make 0) })
+    (function MCounter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> MGauge { g_name = name; g_bits = Atomic.make (Int64.bits_of_float Float.nan) })
+    (function MGauge g -> Some g | _ -> None)
+
+let new_hshard () =
+  {
+    hs_count = Atomic.make 0;
+    hs_sum = Atomic.make (Int64.bits_of_float 0.);
+    hs_min = Atomic.make (Int64.bits_of_float Float.infinity);
+    hs_max = Atomic.make (Int64.bits_of_float Float.neg_infinity);
+    hs_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+  }
+
+let histogram name =
+  register name
+    (fun () -> MHistogram { h_name = name; h_shards = Array.init stripes (fun _ -> new_hshard ()) })
+    (function MHistogram h -> Some h | _ -> None)
+
+let add c n =
+  if Atomic.get metrics_on then
+    ignore (Atomic.fetch_and_add c.c_shards.(stripe_of_self ()) n)
+
+let incr c = add c 1
+
+let set_gauge g v = if Atomic.get metrics_on then Atomic.set g.g_bits (Int64.bits_of_float v)
+
+(* Boxed int64 atomics compare by physical equality in compare_and_set,
+   so the read-modify-CAS loop below is the standard lock-free float
+   accumulate. *)
+let rec cas_float_update a f =
+  let old = Atomic.get a in
+  let nv = Int64.bits_of_float (f (Int64.float_of_bits old)) in
+  if not (Atomic.compare_and_set a old nv) then cas_float_update a f
+
+let bucket_of v =
+  let rec go i = if i >= Array.length bucket_bounds || v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe_shard hs v =
+  ignore (Atomic.fetch_and_add hs.hs_count 1);
+  cas_float_update hs.hs_sum (fun s -> s +. v);
+  cas_float_update hs.hs_min (fun m -> Float.min m v);
+  cas_float_update hs.hs_max (fun m -> Float.max m v);
+  ignore (Atomic.fetch_and_add hs.hs_buckets.(bucket_of v) 1)
+
+let observe h v =
+  if Atomic.get metrics_on then observe_shard h.h_shards.(stripe_of_self ()) v
+
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_shards
+let gauge_value g = Int64.float_of_bits (Atomic.get g.g_bits)
+
+let histogram_value h =
+  let count = ref 0 and sum = ref 0. in
+  let mn = ref Float.infinity and mx = ref Float.neg_infinity in
+  let buckets = Array.make nbuckets 0 in
+  Array.iter
+    (fun hs ->
+      count := !count + Atomic.get hs.hs_count;
+      sum := !sum +. Int64.float_of_bits (Atomic.get hs.hs_sum);
+      mn := Float.min !mn (Int64.float_of_bits (Atomic.get hs.hs_min));
+      mx := Float.max !mx (Int64.float_of_bits (Atomic.get hs.hs_max));
+      Array.iteri (fun i b -> buckets.(i) <- buckets.(i) + Atomic.get b) hs.hs_buckets)
+    h.h_shards;
+  { h_count = !count; h_sum = !sum; h_min = !mn; h_max = !mx; h_buckets = buckets }
+
+type metric_value =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * histogram_snapshot
+
+let metrics_snapshot () =
+  Mutex.lock metrics_m;
+  let ms = List.rev !metrics in
+  Mutex.unlock metrics_m;
+  List.map
+    (function
+      | MCounter c -> Counter (c.c_name, counter_value c)
+      | MGauge g -> Gauge (g.g_name, gauge_value g)
+      | MHistogram h -> Histogram (h.h_name, histogram_value h))
+    ms
+
+(* -------------------------------------------------------------- reset *)
+
+let reset () =
+  Mutex.lock registry_m;
+  List.iter
+    (fun ds ->
+      ds.completed <- [];
+      ds.nspans <- 0;
+      ds.dropped <- 0)
+    !registry;
+  Mutex.unlock registry_m;
+  Mutex.lock metrics_m;
+  List.iter
+    (function
+      | MCounter c -> Array.iter (fun a -> Atomic.set a 0) c.c_shards
+      | MGauge g -> Atomic.set g.g_bits (Int64.bits_of_float Float.nan)
+      | MHistogram h ->
+          Array.iter
+            (fun hs ->
+              Atomic.set hs.hs_count 0;
+              Atomic.set hs.hs_sum (Int64.bits_of_float 0.);
+              Atomic.set hs.hs_min (Int64.bits_of_float Float.infinity);
+              Atomic.set hs.hs_max (Int64.bits_of_float Float.neg_infinity);
+              Array.iter (fun b -> Atomic.set b 0) hs.hs_buckets)
+            h.h_shards)
+    !metrics;
+  Mutex.unlock metrics_m;
+  if Atomic.get spans_on then Atomic.set epoch_ns (now_ns ())
+
+(* ---------------------------------------------------------- exporters *)
+
+(* Hand-rolled JSON, mirroring lib/core/resilience.ml (which sits above
+   this module in the dependency order, so no sharing). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+let json_float x = if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+let rel_us ns = Int64.to_float (Int64.sub ns (Atomic.get epoch_ns)) /. 1e3
+
+let span_args s =
+  let kv =
+    ("span_id", string_of_int s.sid)
+    :: ("parent", string_of_int s.sparent)
+    :: ("alloc_minor_words", Printf.sprintf "%.0f" s.salloc_minor_w)
+    :: s.sattrs
+  in
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_str k) (json_str v)) kv)
+
+let gc_json () =
+  let st = Gc.quick_stat () in
+  Printf.sprintf
+    "{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\"minor_collections\":%d,\"major_collections\":%d,\"heap_words\":%d}"
+    (json_float st.Gc.minor_words) (json_float st.Gc.promoted_words)
+    (json_float st.Gc.major_words) st.Gc.minor_collections st.Gc.major_collections
+    st.Gc.heap_words
+
+let write_chrome_trace path =
+  let spans = recorded_spans () in
+  let tracks =
+    List.sort_uniq compare (List.map (fun s -> s.strack) spans)
+  in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else out ","
+  in
+  sep ();
+  out "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"bufsize\"}}";
+  List.iter
+    (fun t ->
+      sep ();
+      out "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain-%d\"}}" t t)
+    tracks;
+  List.iter
+    (fun s ->
+      sep ();
+      out "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":%s,\"cat\":\"bufsize\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+        s.strack (json_str s.sname) (rel_us s.sstart_ns)
+        (Int64.to_float s.sdur_ns /. 1e3)
+        (span_args s))
+    spans;
+  out "]}";
+  close_out oc
+
+let metric_json_line = function
+  | Counter (n, v) -> Printf.sprintf "{\"type\":\"counter\",\"name\":%s,\"value\":%d}" (json_str n) v
+  | Gauge (n, v) ->
+      Printf.sprintf "{\"type\":\"gauge\",\"name\":%s,\"value\":%s}" (json_str n) (json_float v)
+  | Histogram (n, h) ->
+      Printf.sprintf
+        "{\"type\":\"histogram\",\"name\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[%s]}"
+        (json_str n) h.h_count (json_float h.h_sum) (json_float h.h_min) (json_float h.h_max)
+        (String.concat "," (Array.to_list (Array.map string_of_int h.h_buckets)))
+
+let write_jsonl path =
+  let oc = open_out path in
+  List.iter
+    (fun s ->
+      Printf.fprintf oc
+        "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":%s,\"track\":%d,\"start_us\":%.3f,\"dur_us\":%.3f,\"alloc_minor_words\":%s,\"attrs\":{%s}}\n"
+        s.sid s.sparent (json_str s.sname) s.strack (rel_us s.sstart_ns)
+        (Int64.to_float s.sdur_ns /. 1e3)
+        (json_float s.salloc_minor_w)
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_str k) (json_str v)) s.sattrs)))
+    (recorded_spans ());
+  List.iter (fun m -> Printf.fprintf oc "%s\n" (metric_json_line m)) (metrics_snapshot ());
+  Printf.fprintf oc "{\"type\":\"gc\",\"stat\":%s}\n" (gc_json ());
+  Printf.fprintf oc "{\"type\":\"dropped_spans\",\"value\":%d}\n" (dropped_spans ());
+  close_out oc
+
+let metrics_json () =
+  let counters, gauges, histos =
+    List.fold_left
+      (fun (cs, gs, hs) m ->
+        match m with
+        | Counter (n, v) -> (Printf.sprintf "%s:%d" (json_str n) v :: cs, gs, hs)
+        | Gauge (n, v) -> (cs, Printf.sprintf "%s:%s" (json_str n) (json_float v) :: gs, hs)
+        | Histogram (n, h) ->
+            ( cs,
+              gs,
+              Printf.sprintf "%s:{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}" (json_str n)
+                h.h_count (json_float h.h_sum) (json_float h.h_min) (json_float h.h_max)
+              :: hs ))
+      ([], [], []) (metrics_snapshot ())
+  in
+  Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s},\"gc\":%s}"
+    (String.concat "," (List.rev counters))
+    (String.concat "," (List.rev gauges))
+    (String.concat "," (List.rev histos))
+    (gc_json ())
+
+let pp_summary ppf () =
+  let ms = metrics_snapshot () in
+  Format.fprintf ppf "@[<v>== metrics ==@,";
+  List.iter
+    (fun m ->
+      match m with
+      | Counter (n, v) -> Format.fprintf ppf "  %-32s %d@," n v
+      | Gauge (n, v) ->
+          if Float.is_finite v then Format.fprintf ppf "  %-32s %g@," n v
+          else Format.fprintf ppf "  %-32s (unset)@," n
+      | Histogram (n, h) ->
+          if h.h_count = 0 then Format.fprintf ppf "  %-32s (empty)@," n
+          else
+            Format.fprintf ppf "  %-32s count=%d mean=%.3g min=%.3g max=%.3g@," n h.h_count
+              (h.h_sum /. float_of_int h.h_count)
+              h.h_min h.h_max)
+    ms;
+  let spans = recorded_spans () in
+  if spans <> [] then begin
+    Format.fprintf ppf "== spans (by name) ==@,";
+    Format.fprintf ppf "  %-32s %8s %12s %12s %12s@," "name" "count" "total ms" "mean ms" "max ms";
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun s ->
+        let ms = Int64.to_float s.sdur_ns /. 1e6 in
+        match Hashtbl.find_opt tbl s.sname with
+        | None -> Hashtbl.replace tbl s.sname (ref (1, ms, ms))
+        | Some r ->
+            let c, tot, mx = !r in
+            r := (c + 1, tot +. ms, Float.max mx ms))
+      spans;
+    let rows = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl [] in
+    let rows =
+      List.sort (fun (_, (_, t1, _)) (_, (_, t2, _)) -> Float.compare t2 t1) rows
+    in
+    List.iter
+      (fun (name, (c, tot, mx)) ->
+        Format.fprintf ppf "  %-32s %8d %12.3f %12.3f %12.3f@," name c tot (tot /. float_of_int c) mx)
+      rows;
+    let dropped = dropped_spans () in
+    if dropped > 0 then Format.fprintf ppf "  (%d spans dropped at buffer cap)@," dropped
+  end;
+  Format.fprintf ppf "@]"
+
+(* ---------------------------------------------------- env integration *)
+
+let trace_env_var = "BUFSIZE_TRACE"
+let metrics_env_var = "BUFSIZE_METRICS"
+
+let init_from_env () =
+  (match Sys.getenv_opt trace_env_var with
+  | None | Some "" -> ()
+  | Some path ->
+      enable_spans ();
+      enable_metrics ();
+      at_exit (fun () -> write_chrome_trace path));
+  match Sys.getenv_opt metrics_env_var with
+  | None | Some "" -> ()
+  | Some ("1" | "summary") ->
+      enable_metrics ();
+      at_exit (fun () -> Format.eprintf "%a@." pp_summary ())
+  | Some path ->
+      enable_spans ();
+      enable_metrics ();
+      at_exit (fun () -> write_jsonl path)
+
+(* -------------------------------------------------------- test hooks *)
+
+module Internal = struct
+  let stripes = stripes
+
+  let counter_add_on_stripe c ~stripe n =
+    ignore (Atomic.fetch_and_add c.c_shards.(stripe land (stripes - 1)) n)
+
+  let observe_on_stripe h ~stripe v = observe_shard h.h_shards.(stripe land (stripes - 1)) v
+end

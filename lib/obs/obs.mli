@@ -1,0 +1,151 @@
+(** End-to-end telemetry for the solve & simulate pipeline: hierarchical
+    spans with monotonic-clock timing, a registry of named metrics with
+    per-domain shards, and Chrome-trace / JSONL / console exporters.
+
+    Everything is off by default.  The disabled fast path of {!span} and
+    the metric mutators is a single atomic load and branch, so
+    instrumentation can sit inside hot loops (simplex pivots, SpMV, the
+    DES event loop) without measurable cost.  No numeric result may ever
+    depend on whether telemetry is enabled: the layer only observes. *)
+
+(* ------------------------------------------------------------ enabling *)
+
+val spans_enabled : unit -> bool
+val metrics_enabled : unit -> bool
+
+val enable_spans : unit -> unit
+(** Also resets the trace epoch so exported timestamps start near 0. *)
+
+val enable_metrics : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Clear every recorded span and zero every metric shard.  Call only
+    when no pooled work is in flight (between runs, in tests, between
+    benchmark repetitions). *)
+
+(* ------------------------------------------------------------- spans *)
+
+val span : ?attrs:(unit -> (string * string) list) -> name:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f ()] inside a span.  When tracing is disabled
+    this is [f ()] after one atomic load — no allocation.  When enabled,
+    the span records its monotonic start/duration, the enclosing span as
+    parent, the current domain as track, and the minor words allocated
+    while it was open.  [attrs] is evaluated once, at span close, so
+    attribute values can read counters accumulated during the span.
+    Exceptions close the span and propagate. *)
+
+val span_with_id : ?attrs:(unit -> (string * string) list) -> name:string -> (int -> 'a) -> 'a
+(** Like {!span} but passes the span id to the body (0 when disabled) so
+    callers can cross-reference the span from other records — the
+    resilience layer stores it in its diagnostics. *)
+
+val current_context : unit -> int
+(** Id of the innermost open span on this domain (or the propagated
+    parent context), 0 when none or disabled.  Capture it before handing
+    work to another domain and restore it there with {!with_context}. *)
+
+val with_context : int -> (unit -> 'a) -> 'a
+(** [with_context parent f] runs [f] with spans parented under [parent]
+    when no local span is open — the pool uses it to parent worker-domain
+    spans under the span that submitted the job. *)
+
+type span_record = {
+  sid : int;
+  sparent : int;  (* 0 = root *)
+  sname : string;
+  strack : int;  (* domain id *)
+  sstart_ns : int64;  (* monotonic, absolute *)
+  sdur_ns : int64;
+  salloc_minor_w : float;  (* minor words allocated while open *)
+  sattrs : (string * string) list;
+}
+
+val recorded_spans : unit -> span_record list
+(** All completed spans across every domain, sorted by start time. *)
+
+val dropped_spans : unit -> int
+(** Spans discarded because a domain hit its buffer cap. *)
+
+(* ------------------------------------------------------------ metrics *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) a named monotonic counter.  Idempotent. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val counter_value : counter -> int
+(** Sum across all shards; reads are always allowed, even when disabled. *)
+
+val gauge_value : gauge -> float
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (* +inf when empty *)
+  h_max : float;  (* -inf when empty *)
+  h_buckets : int array;  (* decade buckets, see [bucket_bounds] *)
+}
+
+val histogram_value : histogram -> histogram_snapshot
+val bucket_bounds : float array
+(** Upper bounds of the histogram decade buckets (last bucket catches
+    the rest). *)
+
+type metric_value =
+  | Counter of string * int
+  | Gauge of string * float
+  | Histogram of string * histogram_snapshot
+
+val metrics_snapshot : unit -> metric_value list
+(** Every registered metric merged across shards, in registration order. *)
+
+(* ---------------------------------------------------------- exporters *)
+
+val write_chrome_trace : string -> unit
+(** Chrome [trace_event] JSON (complete "X" events, one track per
+    domain), loadable in chrome://tracing and Perfetto. *)
+
+val write_jsonl : string -> unit
+(** One JSON object per line: spans, metrics, a GC snapshot, and a
+    dropped-span count. *)
+
+val metrics_json : unit -> string
+(** Single JSON object: counters, gauges, histograms, GC snapshot. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Console summary: metric table plus per-name span aggregation. *)
+
+(* ---------------------------------------------------- env integration *)
+
+val trace_env_var : string  (* BUFSIZE_TRACE *)
+val metrics_env_var : string  (* BUFSIZE_METRICS *)
+
+val init_from_env : unit -> unit
+(** Entry points (CLI, bench) call this once at startup:
+    [BUFSIZE_TRACE=<path>] enables spans + metrics and writes the Chrome
+    trace to [<path>] at exit; [BUFSIZE_METRICS=1|summary] enables
+    metrics and prints the console summary to stderr at exit, while any
+    other non-empty value is a path that receives the JSONL dump. *)
+
+(* -------------------------------------------------------- test hooks *)
+
+module Internal : sig
+  val stripes : int
+
+  val counter_add_on_stripe : counter -> stripe:int -> int -> unit
+  (** Bypass the domain-id stripe choice — lets tests drive increments
+      onto chosen shards to check merge-order independence. *)
+
+  val observe_on_stripe : histogram -> stripe:int -> float -> unit
+end

@@ -1,0 +1,23 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC is immune to wall
+   clock adjustments (NTP slews, manual changes), which matters because
+   span durations feed benchmark overhead accounting.  Falls back to
+   CLOCK_REALTIME on platforms without a monotonic clock. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim value bufsize_obs_now_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    clock_gettime(CLOCK_REALTIME, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec));
+}

@@ -2,6 +2,14 @@ module Mat = Bufsize_numeric.Mat
 module Vec = Bufsize_numeric.Vec
 module Lu = Bufsize_numeric.Lu
 module Sparse = Bufsize_numeric.Sparse
+module Obs = Bufsize_obs.Obs
+
+(* Stationary-solve telemetry: total uniformized sweeps, how many solves
+   took the iterative path, and the balance residuals of accepted
+   distributions. *)
+let m_iterations = Obs.counter "ctmc.iterations"
+let m_iterative_solves = Obs.counter "ctmc.iterative_solves"
+let h_residual = Obs.histogram "ctmc.residual"
 
 (* The generator is held sparse (CSR, diagonal included): buffer-occupancy
    CTMDPs have a handful of arrival/service neighbours per state, so the
@@ -187,6 +195,7 @@ let stationary_iterative_report ?(tol = 1e-13) ?(max_iter = 200_000) t =
   let n = t.n in
   if n = 1 then ([| 1. |], 0, true)
   else begin
+    Obs.incr m_iterative_solves;
     let lambda = Float.max (2. *. max_exit_rate t) 1e-300 in
     let pi = Array.make n (1. /. float_of_int n) in
     let qt_pi = Array.make n 0. in
@@ -205,6 +214,7 @@ let stationary_iterative_report ?(tol = 1e-13) ?(max_iter = 200_000) t =
     done;
     let pi = Array.map (fun p -> Float.max 0. p) pi in
     let total = Vec.sum pi in
+    Obs.add m_iterations !iters;
     (Array.map (fun p -> p /. total) pi, !iters, not !continue)
   end
 
@@ -254,8 +264,11 @@ let stationary_diag ?budget t =
       (List.length cls)
   in
   let accept pi iterations =
-    if distribution_valid pi then
-      Resilience.Accept (pi, Resilience.meta ~iterations ~residual:(stationary_residual t pi) ())
+    if distribution_valid pi then begin
+      let residual = stationary_residual t pi in
+      Obs.observe h_residual residual;
+      Resilience.Accept (pi, Resilience.meta ~iterations ~residual ())
+    end
     else Resilience.Reject "invalid distribution (NaN/Inf, negative, or unnormalized)"
   in
   let gth _ =
@@ -268,8 +281,11 @@ let stationary_diag ?budget t =
     let pi, iters, converged = stationary_iterative_report t in
     if not (distribution_valid pi) then
       Resilience.Reject "invalid distribution (NaN/Inf, negative, or unnormalized)"
-    else if converged then
-      Resilience.Accept (pi, Resilience.meta ~iterations:iters ~residual:(stationary_residual t pi) ())
+    else if converged then begin
+      let residual = stationary_residual t pi in
+      Obs.observe h_residual residual;
+      Resilience.Accept (pi, Resilience.meta ~iterations:iters ~residual ())
+    end
     else
       Resilience.Partial
         ( pi,

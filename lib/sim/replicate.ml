@@ -1,6 +1,9 @@
 module Stats = Bufsize_numeric.Stats
 module Rng = Bufsize_prob.Rng
 module Pool = Bufsize_pool.Pool
+module Obs = Bufsize_obs.Obs
+
+let m_replications = Obs.counter "sim.replications"
 
 type aggregate = {
   replications : int;
@@ -52,7 +55,12 @@ let run ?(replications = 10) ?pool spec =
      the pool size. *)
   let reports =
     Pool.map_array ?pool
-      (fun i -> Sim_run.run { spec with Sim_run.seed = Rng.derive_seed spec.Sim_run.seed i })
+      (fun i ->
+        Obs.incr m_replications;
+        Obs.span ~name:"sim.replication"
+          ~attrs:(fun () -> [ ("replication", string_of_int i) ])
+          (fun () ->
+            Sim_run.run { spec with Sim_run.seed = Rng.derive_seed spec.Sim_run.seed i }))
       (Array.init replications Fun.id)
   in
   let agg = make_empty nprocs replications in

@@ -2,6 +2,9 @@ module Topology = Bufsize_soc.Topology
 module Traffic = Bufsize_soc.Traffic
 module Buffer_alloc = Bufsize_soc.Buffer_alloc
 module Rng = Bufsize_prob.Rng
+module Obs = Bufsize_obs.Obs
+
+let m_des_events = Obs.counter "des.events"
 
 type timeout_policy =
   | Global of float
@@ -69,6 +72,10 @@ let run spec =
   if spec.horizon <= 0. then invalid_arg "Sim_run.run: nonpositive horizon";
   if spec.warmup < 0. || spec.warmup >= spec.horizon then
     invalid_arg "Sim_run.run: warmup must lie in [0, horizon)";
+  Obs.span ~name:"sim.run"
+    ~attrs:(fun () ->
+      [ ("horizon", string_of_float spec.horizon); ("seed", string_of_int spec.seed) ])
+  @@ fun () ->
   let topo = Traffic.topology spec.traffic in
   let rng = Rng.create spec.seed in
   let des = Des.create () in
@@ -292,4 +299,5 @@ let run spec =
                   }))
     |> Array.of_list
   in
+  Obs.add m_des_events !events;
   { Metrics.horizon = measured; per_proc; buffers; events = !events }

@@ -189,6 +189,12 @@ let pp_attempt ppf r =
 (* ------------------------------------------------ resilient closure solve *)
 
 module Resilience = Bufsize_resilience.Resilience
+module Obs = Bufsize_obs.Obs
+
+(* Closure-solve telemetry: Newton iterations (plain and damped) and
+   Picard fixed-point sweeps, summed across escalation attempts. *)
+let m_newton_iters = Obs.counter "monolithic.newton_iterations"
+let m_picard_iters = Obs.counter "monolithic.picard_iterations"
 
 let residual_norm s v =
   Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0. (residual s v)
@@ -246,6 +252,7 @@ let solve_closure ?budget ?(tol = 1e-9) s =
   let newton_step name ~damped =
     Resilience.step name (fun _ ->
         let r = Newton.solve ~max_iter:200 ~tol ~damped ~f:(residual s) ~x0:uniform_start () in
+        Obs.add m_newton_iters r.Newton.iterations;
         let meta = Resilience.meta ~iterations:r.Newton.iterations ~residual:r.Newton.residual () in
         if not r.Newton.converged then
           Resilience.Reject
@@ -264,6 +271,7 @@ let solve_closure ?budget ?(tol = 1e-9) s =
         match picard s with
         | None -> Resilience.Reject "no attractive fixed point from the uniform start"
         | Some (v, iters) ->
+            Obs.add m_picard_iters iters;
             let res = residual_norm s v in
             let meta = Resilience.meta ~iterations:iters ~residual:res () in
             if not (closure_valid s v) then

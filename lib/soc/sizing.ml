@@ -3,6 +3,9 @@ module Lp_formulation = Bufsize_mdp.Lp_formulation
 module Kswitching = Bufsize_mdp.Kswitching
 module Pool = Bufsize_pool.Pool
 module Resilience = Bufsize_resilience.Resilience
+module Obs = Bufsize_obs.Obs
+
+let m_subsystems = Obs.counter "sizing.subsystems"
 
 type solver = Joint | Separate
 
@@ -121,7 +124,9 @@ let solve_subsystems ?pool config models =
   match config.solver with
   | Joint -> (
       let attempt bounds =
-        Lp_formulation.solve_joint_diag ?shared_bounds:bounds ctmdps
+        Obs.span ~name:"sizing.solve-joint"
+          ~attrs:(fun () -> [ ("subsystems", string_of_int (Array.length ctmdps)) ])
+          (fun () -> Lp_formulation.solve_joint_diag ?shared_bounds:bounds ctmdps)
       in
       match
         attempt (Some [| { Lp_formulation.sense = Lp.Le; value = bound_levels } |])
@@ -155,6 +160,9 @@ let solve_subsystems ?pool config models =
          state crosses domains, and the same code path serves the
          sequential fallback. *)
       let solve_one i m =
+        Obs.span ~name:"sizing.subsystem"
+          ~attrs:(fun () -> [ ("bus", bus_label models.(i)) ])
+        @@ fun () ->
         let bounds = [| { Lp_formulation.sense = Lp.Le; value = shares.(i) } |] in
         match Lp_formulation.solve_diag ~extra_bounds:bounds m with
         | Some (Lp_formulation.Optimal s), diag -> (s, true, diag)
@@ -174,6 +182,9 @@ let solve_subsystems ?pool config models =
       (solutions, gain, active, words_per_level, health)
 
 let run ?measured_rates ?pool config traffic =
+  Obs.span ~name:"sizing.run"
+    ~attrs:(fun () -> [ ("budget", string_of_int config.budget) ])
+  @@ fun () ->
   if config.budget <= 0 then invalid_arg "Sizing.run: budget must be positive";
   if config.occupancy_fraction <= 0. || config.occupancy_fraction > 1. then
     invalid_arg "Sizing.run: occupancy_fraction must be in (0, 1]";
@@ -200,16 +211,23 @@ let run ?measured_rates ?pool config traffic =
   let models =
     Pool.map_array ?pool
       (fun s ->
-        Bus_model.build ~weights:config.client_weight ~max_states:config.max_states
-          (apply_profile s))
+        Obs.span ~name:"sizing.build"
+          ~attrs:(fun () -> [ ("bus", string_of_int s.Splitting.bus) ])
+          (fun () ->
+            Bus_model.build ~weights:config.client_weight ~max_states:config.max_states
+              (apply_profile s)))
       split.Splitting.subsystems
   in
+  Obs.add m_subsystems (Array.length models);
   let solved, total_gain, bound_active, words_per_level, lp_health =
     solve_subsystems ?pool config models
   in
   let solutions =
     Pool.mapi_array ?pool
       (fun i model ->
+        Obs.span ~name:"sizing.occupancy"
+          ~attrs:(fun () -> [ ("bus", bus_label model) ])
+        @@ fun () ->
         let s = solved.(i) in
         let occupancy = Bus_model.occupancy_distribution model s.Lp_formulation.policy in
         let switching =

@@ -1,4 +1,8 @@
 module Rng = Bufsize_prob.Rng
+module Obs = Bufsize_obs.Obs
+
+let m_instances = Obs.counter "verify.instances"
+let m_failures = Obs.counter "verify.failures"
 
 type failure = {
   oracle : string;
@@ -50,12 +54,17 @@ let run_oracle ?out_dir ~max_states ~seed ~count (o : Oracle.t) =
      oracles never perturbs another oracle's instances. *)
   let oracle_seed = Rng.derive_seed seed (Hashtbl.hash o.Oracle.name) in
   let failures = ref [] in
+  Obs.span ~name:("verify.oracle:" ^ o.Oracle.name)
+    ~attrs:(fun () -> [ ("instances", string_of_int count) ])
+  @@ fun () ->
   for i = 0 to count - 1 do
+    Obs.incr m_instances;
     let instance_seed = Rng.derive_seed oracle_seed i in
     let case = o.Oracle.generate ~max_states (Rng.create instance_seed) in
     match Oracle.run_check case with
     | Oracle.Pass -> ()
     | Oracle.Fail msg ->
+        Obs.incr m_failures;
         let case, message, shrink_steps = Shrink.minimize case msg in
         let repro_path =
           Option.map

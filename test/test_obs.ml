@@ -1,0 +1,320 @@
+(* Tests for the telemetry layer: the disabled fast path (no spans, no
+   allocation), shard-merge permutation independence, span nesting and
+   pool context propagation, exporter well-formedness (parsed back with
+   the strict Test_json parser), and the only-observes guarantee (sizing
+   results bitwise identical with tracing on or off). *)
+
+module Obs = Bufsize_obs.Obs
+module Pool = Bufsize_pool.Pool
+module Topology = Bufsize_soc.Topology
+module Traffic = Bufsize_soc.Traffic
+module Sizing = Bufsize_soc.Sizing
+
+let qcheck ?(count = 100) name arb prop =
+  QCheck.Test.check_exn (QCheck.Test.make ~count ~name arb prop)
+
+(* Every test owns the global telemetry state for its duration. *)
+let fresh () =
+  Obs.disable ();
+  Obs.reset ()
+
+(* ------------------------------------------------- disabled fast path *)
+
+let test_disabled_records_nothing () =
+  fresh ();
+  let c = Obs.counter "test.disabled.counter" in
+  let h = Obs.histogram "test.disabled.histogram" in
+  let r = Obs.span ~name:"invisible" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span is transparent" 42 r;
+  Obs.incr c;
+  Obs.add c 10;
+  Obs.observe h 1.5;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.recorded_spans ()));
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.histogram_value h).Obs.h_count;
+  Obs.span_with_id ~name:"invisible" (fun id ->
+      Alcotest.(check int) "disabled span id is 0" 0 id)
+
+let test_disabled_span_allocates_nothing () =
+  fresh ();
+  let body () = 7 in
+  let iters = 10_000 in
+  (* One warm-up call, then measure: a per-call allocation would show up
+     as >= 2 words x iters; the slack only covers the Gc.minor_words
+     boxed-float results themselves. *)
+  ignore (Obs.span ~name:"hot" body);
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (Obs.span ~name:"hot" body)
+  done;
+  let after = Gc.minor_words () in
+  let delta = after -. before in
+  if delta > 64. then
+    Alcotest.failf "disabled span allocated %.0f minor words over %d calls" delta iters
+
+(* ------------------------------------------------------- shard merge *)
+
+(* Mirrors the Stats.merge property: increments scattered over arbitrary
+   shards in an arbitrary order must merge to the plain sequential
+   total.  Amounts stay small integers so histogram float sums are
+   exact. *)
+let test_prop_shard_merge_permutation () =
+  fresh ();
+  Obs.enable_metrics ();
+  let c1 = Obs.counter "test.shard.c1" in
+  let c2 = Obs.counter "test.shard.c2" in
+  let h1 = Obs.histogram "test.shard.h1" in
+  let h2 = Obs.histogram "test.shard.h2" in
+  let arb =
+    QCheck.(list (pair (int_bound 1000) (int_bound (Obs.Internal.stripes - 1))))
+  in
+  qcheck ~count:200 "shards merge to the sequential count in any permutation" arb
+    (fun incs ->
+      Obs.reset ();
+      let apply c h items =
+        List.iter
+          (fun (amt, stripe) ->
+            Obs.Internal.counter_add_on_stripe c ~stripe amt;
+            Obs.Internal.observe_on_stripe h ~stripe (float_of_int amt))
+          items
+      in
+      apply c1 h1 incs;
+      (* Same multiset, reversed order, and rotated shard assignment. *)
+      apply c2 h2
+        (List.rev_map
+           (fun (amt, stripe) -> (amt, (stripe + 7) mod Obs.Internal.stripes))
+           incs);
+      let expected = List.fold_left (fun a (amt, _) -> a + amt) 0 incs in
+      let s1 = Obs.histogram_value h1 and s2 = Obs.histogram_value h2 in
+      Obs.counter_value c1 = expected
+      && Obs.counter_value c2 = expected
+      && s1.Obs.h_count = List.length incs
+      && s2.Obs.h_count = s1.Obs.h_count
+      && s1.Obs.h_sum = float_of_int expected
+      && s2.Obs.h_sum = s1.Obs.h_sum
+      && s1.Obs.h_min = s2.Obs.h_min
+      && s1.Obs.h_max = s2.Obs.h_max);
+  fresh ()
+
+(* ----------------------------------------------------- span recording *)
+
+let find_span name spans =
+  match List.find_opt (fun s -> s.Obs.sname = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s not recorded" name
+
+let test_span_nesting_and_attrs () =
+  fresh ();
+  Obs.enable_spans ();
+  Obs.span ~name:"outer" (fun () ->
+      Obs.span ~name:"inner"
+        ~attrs:(fun () -> [ ("k", "v") ])
+        (fun () -> ());
+      Obs.span ~name:"inner2" (fun () -> ()));
+  let spans = Obs.recorded_spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let outer = find_span "outer" spans in
+  let inner = find_span "inner" spans in
+  let inner2 = find_span "inner2" spans in
+  Alcotest.(check int) "outer is a root" 0 outer.Obs.sparent;
+  Alcotest.(check int) "inner parented under outer" outer.Obs.sid inner.Obs.sparent;
+  Alcotest.(check int) "inner2 parented under outer" outer.Obs.sid inner2.Obs.sparent;
+  Alcotest.(check (list (pair string string))) "attrs captured" [ ("k", "v") ] inner.Obs.sattrs;
+  Alcotest.(check bool) "outer at least as long as inner" true
+    (outer.Obs.sdur_ns >= inner.Obs.sdur_ns);
+  Alcotest.(check int) "no drops" 0 (Obs.dropped_spans ());
+  fresh ()
+
+let test_span_exception_still_recorded () =
+  fresh ();
+  Obs.enable_spans ();
+  (try Obs.span ~name:"thrower" (fun () -> failwith "boom") with Failure _ -> ());
+  ignore (find_span "thrower" (Obs.recorded_spans ()));
+  fresh ()
+
+let test_span_with_id_cross_reference () =
+  fresh ();
+  Obs.enable_spans ();
+  let seen = ref 0 in
+  Obs.span_with_id ~name:"chain" (fun id -> seen := id);
+  let s = find_span "chain" (Obs.recorded_spans ()) in
+  Alcotest.(check bool) "nonzero id" true (!seen > 0);
+  Alcotest.(check int) "body saw the recorded id" s.Obs.sid !seen;
+  fresh ()
+
+let test_pool_context_propagation () =
+  fresh ();
+  Obs.enable_spans ();
+  let pool = Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Obs.span ~name:"submit" (fun () ->
+          ignore
+            (Pool.map_array ~pool
+               (fun i -> Obs.span ~name:"worker" (fun () -> i))
+               (Array.init 8 Fun.id))));
+  let spans = Obs.recorded_spans () in
+  let submit = find_span "submit" spans in
+  let workers = List.filter (fun s -> s.Obs.sname = "worker") spans in
+  Alcotest.(check int) "eight worker spans" 8 (List.length workers);
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "worker parented under the submitting span" submit.Obs.sid
+        w.Obs.sparent)
+    workers;
+  fresh ()
+
+(* ----------------------------------------------------------- exporters *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "bufsize_obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let record_sample_run () =
+  fresh ();
+  Obs.enable_spans ();
+  Obs.enable_metrics ();
+  let c = Obs.counter "test.export.counter" in
+  let h = Obs.histogram "test.export.histogram" in
+  Obs.span ~name:"root \"quoted\"\n" (fun () ->
+      Obs.add c 3;
+      Obs.observe h 0.25;
+      Obs.span ~name:"leaf" ~attrs:(fun () -> [ ("path", "a\\b\t") ]) (fun () -> ()))
+
+let test_chrome_trace_well_formed () =
+  record_sample_run ();
+  with_temp_file (fun path ->
+      Obs.write_chrome_trace path;
+      let json = Test_json.parse_exn (read_file path) in
+      let events = Test_json.(to_list (member_exn "traceEvents" json)) in
+      let phase e = Test_json.(to_string (member_exn "ph" e)) in
+      let xs = List.filter (fun e -> phase e = "X") events in
+      let ms = List.filter (fun e -> phase e = "M") events in
+      Alcotest.(check int) "one X event per span" 2 (List.length xs);
+      Alcotest.(check bool) "metadata events present" true (ms <> []);
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "ts present and nonnegative" true
+            Test_json.(to_number (member_exn "ts" e) >= 0.);
+          Alcotest.(check bool) "dur present and nonnegative" true
+            Test_json.(to_number (member_exn "dur" e) >= 0.);
+          Alcotest.(check (float 0.)) "single process" 1.
+            Test_json.(to_number (member_exn "pid" e));
+          ignore Test_json.(to_number (member_exn "tid" e));
+          ignore Test_json.(to_string (member_exn "name" e));
+          let args = Test_json.member_exn "args" e in
+          ignore Test_json.(to_string (member_exn "span_id" args)))
+        xs;
+      let leaf =
+        List.find (fun e -> Test_json.(to_string (member_exn "name" e)) = "leaf") xs
+      in
+      Alcotest.(check string) "attrs survive the round-trip" "a\\b\t"
+        Test_json.(to_string (member_exn "path" (member_exn "args" leaf))));
+  fresh ()
+
+let test_jsonl_and_metrics_json_well_formed () =
+  record_sample_run ();
+  let metrics = Test_json.parse_exn (Obs.metrics_json ()) in
+  let counters = Test_json.member_exn "counters" metrics in
+  Alcotest.(check (float 0.)) "counter exported" 3.
+    Test_json.(to_number (member_exn "test.export.counter" counters));
+  with_temp_file (fun path ->
+      Obs.write_jsonl path;
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check bool) "several records" true (List.length lines > 3);
+      List.iter (fun line -> ignore (Test_json.parse_exn line)) lines;
+      let kinds =
+        List.map
+          (fun line ->
+            Test_json.(to_string (member_exn "type" (parse_exn line))))
+          lines
+      in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " record present") true (List.mem k kinds))
+        [ "span"; "counter"; "histogram"; "gc"; "dropped_spans" ]);
+  fresh ()
+
+(* ------------------------------------------------------ only observes *)
+
+let small_traffic () =
+  let b = Topology.builder () in
+  let bus0 = Topology.add_bus b ~service_rate:3.0 "west" in
+  let bus1 = Topology.add_bus b ~service_rate:3.0 "east" in
+  let p0 = Topology.add_processor b ~bus:bus0 "A" in
+  let p1 = Topology.add_processor b ~bus:bus0 "B" in
+  let p2 = Topology.add_processor b ~bus:bus1 "C" in
+  let p3 = Topology.add_processor b ~bus:bus1 "D" in
+  ignore (Topology.add_bridge b ~between:(bus0, bus1) "br");
+  let topo = Topology.finalize b in
+  Traffic.create topo
+    [
+      { Traffic.src = p0; dst = p2; rate = 1.3 };
+      { Traffic.src = p1; dst = p0; rate = 0.8 };
+      { Traffic.src = p2; dst = p3; rate = 1.1 };
+      { Traffic.src = p3; dst = p1; rate = 0.7 };
+    ]
+
+let test_sizing_identical_with_tracing_on_or_off () =
+  fresh ();
+  let traffic = small_traffic () in
+  let config = { (Sizing.default_config ~budget:16) with Sizing.max_states = 48 } in
+  let off = Sizing.run config traffic in
+  Obs.enable_spans ();
+  Obs.enable_metrics ();
+  let on = Sizing.run config traffic in
+  Alcotest.(check bool) "allocations identical" true
+    (off.Sizing.allocation = on.Sizing.allocation);
+  Alcotest.(check bool) "predicted gain bitwise identical" true
+    (Int64.bits_of_float off.Sizing.predicted_loss_rate
+    = Int64.bits_of_float on.Sizing.predicted_loss_rate);
+  Alcotest.(check bool) "the traced run recorded spans" true (Obs.recorded_spans () <> []);
+  fresh ()
+
+(* ---------------------------------------------------------------- run *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "disabled",
+        [
+          Alcotest.test_case "records nothing" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "span fast path allocates nothing" `Quick
+            test_disabled_span_allocates_nothing;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "shard merge permutation (property)" `Quick
+            test_prop_shard_merge_permutation;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and attrs" `Quick test_span_nesting_and_attrs;
+          Alcotest.test_case "exceptions close the span" `Quick
+            test_span_exception_still_recorded;
+          Alcotest.test_case "span_with_id cross-reference" `Quick
+            test_span_with_id_cross_reference;
+          Alcotest.test_case "pool context propagation" `Quick test_pool_context_propagation;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace well-formed" `Quick test_chrome_trace_well_formed;
+          Alcotest.test_case "jsonl and metrics json" `Quick
+            test_jsonl_and_metrics_json_well_formed;
+        ] );
+      ( "only-observes",
+        [
+          Alcotest.test_case "sizing identical with tracing on/off" `Quick
+            test_sizing_identical_with_tracing_on_or_off;
+        ] );
+    ]

@@ -131,6 +131,55 @@ let test_health_report () =
   Alcotest.(check bool) "nan residual -> null" true
     (contains_sub (Resilience.to_json d_ok) "\"residual\":null")
 
+(* Emitted health JSON must be standard JSON: nasty solver / reason
+   strings escape correctly, wall_ms is a number (never a formatted
+   string), and the escalation span id cross-reference is a number or
+   null.  The check parses the emitted text back with the strict
+   Test_json parser instead of substring matching. *)
+let test_health_json_roundtrip () =
+  let nasty = "we\"ird\\solver\nwith\ttabs\rand\x01ctl" in
+  let reason = "fell \"back\"\nbecause" in
+  let d = Resilience.degraded ~solver:nasty reason in
+  let label = "sub\"system\n1" in
+  let json = Resilience.health_to_json [ (label, d); ("clean", Resilience.ok ~solver:"s" ()) ] in
+  let v = Test_json.parse_exn json in
+  Alcotest.(check bool) "ok flag is a bool" false Test_json.(to_bool (member_exn "ok" v));
+  let diags = Test_json.(to_list (member_exn "diagnostics" v)) in
+  Alcotest.(check int) "two entries" 2 (List.length diags);
+  let first = List.hd diags in
+  Alcotest.(check string) "label round-trips" label
+    Test_json.(to_string (member_exn "label" first));
+  let diag = Test_json.member_exn "diagnostic" first in
+  Alcotest.(check string) "solver round-trips" nasty
+    Test_json.(to_string (member_exn "solver" diag));
+  Alcotest.(check string) "reason round-trips" reason
+    Test_json.(to_string (member_exn "reason" diag));
+  Alcotest.(check string) "status" "degraded" Test_json.(to_string (member_exn "status" diag));
+  (match Test_json.member_exn "wall_ms" diag with
+  | Test_json.Num ms -> Alcotest.(check bool) "wall_ms finite" true (Float.is_finite ms)
+  | _ -> Alcotest.fail "wall_ms must be a JSON number");
+  match Test_json.member_exn "span" diag with
+  | Test_json.Null | Test_json.Num _ -> ()
+  | _ -> Alcotest.fail "span must be a number or null"
+
+(* A real escalation chain run under tracing stamps the chain's span id
+   into the diagnostic, linking --health-json output to the trace. *)
+let test_diagnostic_links_to_span () =
+  let module Obs = Bufsize_obs.Obs in
+  Obs.disable ();
+  Obs.reset ();
+  Obs.enable_spans ();
+  let _, d = Resilience.escalate ~solver:"linked" [ accept_step "one" 1 ] in
+  Obs.disable ();
+  Alcotest.(check bool) "span id recorded" true (d.Resilience.span_id > 0);
+  let spans = Obs.recorded_spans () in
+  Alcotest.(check bool) "the chain span exists in the trace" true
+    (List.exists (fun s -> s.Obs.sid = d.Resilience.span_id && s.Obs.sname = "linked") spans);
+  let diag = Test_json.parse_exn (Resilience.to_json d) in
+  Alcotest.(check (float 0.)) "span id serialized" (float_of_int d.Resilience.span_id)
+    Test_json.(to_number (member_exn "span" diag));
+  Obs.reset ()
+
 (* --------------------------------------- singular bases (satellite 1) *)
 
 (* Three copies of the same equality row: the final basis necessarily
@@ -332,6 +381,8 @@ let () =
           Alcotest.test_case "expired budget" `Quick test_escalate_expired_budget;
           Alcotest.test_case "budget basics" `Quick test_budget_basics;
           Alcotest.test_case "health report" `Quick test_health_report;
+          Alcotest.test_case "health json round-trip" `Quick test_health_json_roundtrip;
+          Alcotest.test_case "diagnostic links to span" `Quick test_diagnostic_links_to_span;
         ] );
       ( "singular-basis",
         [
