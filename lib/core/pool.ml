@@ -7,6 +7,7 @@
 type job = {
   run : int -> unit;  (* process item [i]; must not raise (pre-wrapped) *)
   count : int;
+  chunk : int;  (* indices claimed per steal; >= 1 *)
   next : int Atomic.t;  (* next unclaimed index *)
   remaining : int Atomic.t;  (* items not yet finished *)
   fin_m : Mutex.t;
@@ -25,12 +26,22 @@ type t = {
   mutable workers : unit Domain.t array;
 }
 
+(* Claim [chunk] consecutive indices per fetch_and_add instead of one:
+   with fine-grained items the single shared counter was the contention
+   point that made small pools slower than sequential (every item bounced
+   the counter's cache line across domains).  Item order within a block is
+   ascending, and block boundaries do not affect results — each item still
+   writes only its own slot. *)
 let steal job =
   let rec loop () =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.count then begin
-      job.run i;
-      if Atomic.fetch_and_add job.remaining (-1) = 1 then begin
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < job.count then begin
+      let stop = Int.min job.count (start + job.chunk) in
+      for i = start to stop - 1 do
+        job.run i
+      done;
+      let block = stop - start in
+      if Atomic.fetch_and_add job.remaining (-block) = block then begin
         Mutex.lock job.fin_m;
         job.fin <- true;
         Condition.broadcast job.fin_cv;
@@ -57,8 +68,23 @@ let worker_loop pool =
   in
   loop 0
 
-let create total =
+let env_true name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "on" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* More domains than cores is pure overhead under OCaml 5's stop-the-world
+   minor GC — the 4-domain slowdown recorded in BENCH_parallel.json came
+   from exactly this on a small container.  [create] therefore caps the
+   pool at the hardware's recommended domain count unless the caller (or
+   BUFSIZE_POOL_OVERSUBSCRIBE=1) explicitly asks to exceed it, e.g. tests
+   that must exercise real multi-domain execution on any machine. *)
+let create ?(oversubscribe = false) total =
   if total < 1 then invalid_arg "Pool.create: need at least one domain";
+  let total =
+    if oversubscribe || env_true "BUFSIZE_POOL_OVERSUBSCRIBE" then total
+    else Int.min total (Int.max 1 (Domain.recommended_domain_count ()))
+  in
   let pool =
     {
       total;
@@ -109,11 +135,33 @@ let default () =
   Mutex.unlock default_m;
   p
 
+(* Steal granularity: an explicit [?chunk] wins, then the
+   BUFSIZE_POOL_CHUNK environment knob, then a heuristic giving each
+   domain ~8 steals per job — coarse enough to keep counter traffic
+   negligible, fine enough that uneven item costs still balance. *)
+let chunk_env =
+  match Sys.getenv_opt "BUFSIZE_POOL_CHUNK" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some c when c >= 1 -> Some c
+      | Some _ | None ->
+          invalid_arg "Pool: BUFSIZE_POOL_CHUNK must be a positive integer")
+
+let resolve_chunk pool ~chunk n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Pool: chunk must be a positive integer"
+  | None -> (
+      match chunk_env with
+      | Some c -> c
+      | None -> Int.max 1 (n / (8 * pool.total)))
+
 (* Run [f 0 .. f (n-1)] on the pool.  Sequential when the pool has one
    domain, was shut down, or is already running a job (nested calls from a
    worker's item function, or concurrent callers) — the try-lock on [busy]
    makes re-entrancy a graceful degradation instead of a deadlock. *)
-let run_items pool f n =
+let run_items ?chunk pool f n =
   if n > 0 then begin
     if pool.total = 1 || n = 1 || Array.length pool.workers = 0 || not (Mutex.try_lock pool.busy)
     then
@@ -136,6 +184,7 @@ let run_items pool f n =
         {
           run = guarded;
           count = n;
+          chunk = resolve_chunk pool ~chunk n;
           next = Atomic.make 0;
           remaining = Atomic.make n;
           fin_m = Mutex.create ();
@@ -162,7 +211,7 @@ let run_items pool f n =
     end
   end
 
-let mapi_array ?pool f a =
+let mapi_array ?pool ?chunk f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
@@ -172,9 +221,9 @@ let mapi_array ?pool f a =
       (* An option buffer keeps the write type-safe for any ['b] (a raw
          [Array.make] with a dummy would misrepresent float arrays). *)
       let out = Array.make n None in
-      run_items pool (fun i -> out.(i) <- Some (f i a.(i))) n;
+      run_items ?chunk pool (fun i -> out.(i) <- Some (f i a.(i))) n;
       Array.map (function Some v -> v | None -> assert false) out
     end
   end
 
-let map_array ?pool f a = mapi_array ?pool (fun _ x -> f x) a
+let map_array ?pool ?chunk f a = mapi_array ?pool ?chunk (fun _ x -> f x) a

@@ -25,9 +25,14 @@
 
 type t
 
-val create : int -> t
+val create : ?oversubscribe:bool -> int -> t
 (** [create k] builds a pool of [k] domains total ([k - 1] spawned
-    workers).  @raise Invalid_argument if [k < 1]. *)
+    workers).  [k] is capped at [Domain.recommended_domain_count ()] —
+    more domains than cores is pure overhead under the stop-the-world
+    minor GC (the recorded 4-domain slowdown) — unless
+    [oversubscribe:true] or [BUFSIZE_POOL_OVERSUBSCRIBE=1] lifts the cap
+    (tests exercising real multi-domain execution need this on small
+    machines).  @raise Invalid_argument if [k < 1]. *)
 
 val size : t -> int
 (** Total domains the pool uses, including the caller's. *)
@@ -45,11 +50,19 @@ val default : unit -> t
     Library entry points ({!Bufsize_soc.Sizing.run},
     {!Bufsize_sim.Replicate.run}) use it when no explicit pool is given. *)
 
-val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array f a] is [Array.map f a] with the items evaluated on the
     pool's domains (the [default] pool when none is supplied).  Result
     ordering is that of the input array regardless of execution order.
-    [f] must be safe to run concurrently with itself on distinct items. *)
+    [f] must be safe to run concurrently with itself on distinct items.
 
-val mapi_array : ?pool:t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+    [chunk] sets how many consecutive items a domain claims per steal.
+    Default: the [BUFSIZE_POOL_CHUNK] environment knob when set, else
+    [max 1 (n / (8 * size pool))] — about eight steals per domain, coarse
+    enough that the shared claim counter stops being a contention point
+    on fine-grained items, fine enough that uneven item costs still
+    balance.  Chunking never changes results: item [i]'s output lands in
+    slot [i] regardless of block boundaries. *)
+
+val mapi_array : ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Indexed variant of {!map_array}. *)

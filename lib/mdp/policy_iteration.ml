@@ -44,7 +44,8 @@ let evaluate_deterministic m choice =
    size), bias from the uniformized Poisson-equation sweep
    h <- h + (Q h + c - g)/Lambda pinned at h(0) = 0 — each sweep is one
    transposed-free SpMV. *)
-let evaluate_deterministic_iterative_report ?(tol = 1e-10) ?(max_iter = 200_000) m choice =
+let evaluate_deterministic_iterative_report ?(tol = 1e-10) ?(max_iter = 200_000) ?init_bias m
+    choice =
   let n = Ctmdp.num_states m in
   let costs = Array.init n (fun s -> (Ctmdp.action m s choice.(s)).Ctmdp.cost) in
   let rates = ref [] in
@@ -69,7 +70,17 @@ let evaluate_deterministic_iterative_report ?(tol = 1e-10) ?(max_iter = 200_000)
     Float.max (2. *. !m) 1e-300
   in
   let scale = 1. +. Float.abs g in
-  let h = Array.make n 0. in
+  (* A previous policy's bias (sweep warm start) is accepted as the
+     starting point when finite and of the right size — re-pinned at
+     h(0) = 0, since the sweep maintains that normalization.  The fixed
+     point is unchanged, only the sweep count shrinks. *)
+  let h =
+    match init_bias with
+    | Some h0
+      when Array.length h0 = n && Array.for_all Float.is_finite h0 ->
+        Array.init n (fun i -> h0.(i) -. h0.(0))
+    | _ -> Array.make n 0.
+  in
   let qh = Array.make n 0. in
   let continue = ref true in
   let iters = ref 0 in
@@ -91,8 +102,8 @@ let evaluate_deterministic_iterative_report ?(tol = 1e-10) ?(max_iter = 200_000)
   Obs.add m_poisson_sweeps !iters;
   (g, h, !iters, not !continue)
 
-let evaluate_deterministic_iterative ?tol ?max_iter m choice =
-  let g, h, _, _ = evaluate_deterministic_iterative_report ?tol ?max_iter m choice in
+let evaluate_deterministic_iterative ?tol ?max_iter ?init_bias m choice =
+  let g, h, _, _ = evaluate_deterministic_iterative_report ?tol ?max_iter ?init_bias m choice in
   (g, h)
 
 (* Dense elimination up to this many states; beyond it policy evaluation

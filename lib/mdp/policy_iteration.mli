@@ -26,15 +26,25 @@ val evaluate_deterministic : Ctmdp.t -> int array -> float * Bufsize_numeric.Vec
     unichain (the evaluation system is singular). *)
 
 val evaluate_deterministic_iterative :
-  ?tol:float -> ?max_iter:int -> Ctmdp.t -> int array -> float * Bufsize_numeric.Vec.t
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init_bias:Bufsize_numeric.Vec.t ->
+  Ctmdp.t ->
+  int array ->
+  float * Bufsize_numeric.Vec.t
 (** Same result through the sparse pipeline: stationary distribution of
     the induced chain for the gain, uniformized Poisson-equation sweeps
     for the bias.  O(nnz) per sweep, no dense allocation; used
-    automatically by {!solve} above a few hundred states. *)
+    automatically by {!solve} above a few hundred states.  [init_bias]
+    seeds the sweep with a previous policy's bias vector (re-pinned at
+    [h(0) = 0]); the fixed point — and hence the result at convergence —
+    is unchanged, a nearby seed only shrinks the sweep count.  Malformed
+    seeds (wrong size, non-finite) are ignored. *)
 
 val evaluate_deterministic_iterative_report :
   ?tol:float ->
   ?max_iter:int ->
+  ?init_bias:Bufsize_numeric.Vec.t ->
   Ctmdp.t ->
   int array ->
   float * Bufsize_numeric.Vec.t * int * bool

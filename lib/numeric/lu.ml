@@ -1,16 +1,17 @@
 type factorization = {
   lu : Mat.t;  (* L below diagonal (unit diag implied), U on/above *)
   perm : int array;  (* row permutation applied to the input *)
-  sign : float;  (* parity of the permutation, for det *)
+  mutable sign : float;  (* parity of the permutation, for det *)
 }
 
 exception Singular of int
 
-let factorize ?(pivot_tol = 1e-12) m =
-  if m.Mat.rows <> m.Mat.cols then invalid_arg "Lu.factorize: matrix not square";
-  let n = m.Mat.rows in
-  let lu = Mat.copy m in
-  let perm = Array.init n (fun i -> i) in
+(* In-place Doolittle elimination with partial pivoting over [lu]/[perm];
+   returns the permutation sign.  Both [factorize] and [refactorize] run
+   exactly this loop, so a factorization rebuilt into reused storage is
+   bitwise-identical to a fresh one. *)
+let eliminate ~pivot_tol lu perm =
+  let n = lu.Mat.rows in
   let sign = ref 1. in
   for k = 0 to n - 1 do
     (* partial pivoting: pick the largest |entry| in column k at/below row k *)
@@ -36,7 +37,37 @@ let factorize ?(pivot_tol = 1e-12) m =
         done
     done
   done;
-  { lu; perm; sign = !sign }
+  !sign
+
+let factorize ?(pivot_tol = 1e-12) m =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Lu.factorize: matrix not square";
+  let n = m.Mat.rows in
+  let lu = Mat.copy m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = eliminate ~pivot_tol lu perm in
+  { lu; perm; sign }
+
+let dim f = f.lu.Mat.rows
+
+(* Re-run the elimination into [f]'s existing storage for a new same-sized
+   matrix: the warm-start path refactorizes hundreds of simplex bases per
+   solve and reuses one allocation for all of them.  On a singular pivot
+   the storage holds a partial elimination and [Error k] tells the caller
+   to fall back; the factorization must not be used for solves until a
+   subsequent refactorization succeeds. *)
+let refactorize ?(pivot_tol = 1e-12) f m =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Lu.refactorize: matrix not square";
+  let n = dim f in
+  if m.Mat.rows <> n then invalid_arg "Lu.refactorize: dimension mismatch";
+  Array.blit m.Mat.data 0 f.lu.Mat.data 0 (n * n);
+  for i = 0 to n - 1 do
+    f.perm.(i) <- i
+  done;
+  match eliminate ~pivot_tol f.lu f.perm with
+  | sign ->
+      f.sign <- sign;
+      Stdlib.Ok ()
+  | exception Singular k -> Stdlib.Error k
 
 (* The triangular solves are the hot loop of the simplex refactorization
    (thousands of right-hand sides per refactor), hence the unsafe flat-array

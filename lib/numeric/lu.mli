@@ -17,6 +17,20 @@ val factorize : ?pivot_tol:float -> Mat.t -> factorization
     magnitude is below [pivot_tol] (default [1e-12]) raises {!Singular}.
     @raise Invalid_argument if [m] is not square. *)
 
+val refactorize : ?pivot_tol:float -> factorization -> Mat.t -> (unit, int) result
+(** [refactorize f m] rebuilds [f] in place from [m], reusing the storage of
+    an earlier same-sized factorization (the revised simplex refactorizes its
+    basis hundreds of times per solve; this avoids reallocating each time).
+    The result is bitwise-identical to [factorize m] — both run the same
+    elimination loop.  [Error k] names the elimination step whose pivot fell
+    below [pivot_tol]; after an error [f] holds a partial elimination and
+    must not be used for solves until a later [refactorize] succeeds.
+    @raise Invalid_argument if [m] is not square or its size differs from
+    [dim f]. *)
+
+val dim : factorization -> int
+(** Order of the factorized matrix. *)
+
 val solve_factorized : factorization -> Vec.t -> Vec.t
 (** Solves [A x = b] given the factorization of [A]. *)
 

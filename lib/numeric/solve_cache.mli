@@ -1,0 +1,73 @@
+(** Exact-key solve caching for the warm-start / incremental layer.
+
+    A [Solve_cache.t] is a small mutex-guarded LRU map from a {e canonical
+    spec string} (a lossless print of everything the cached computation
+    depends on) to a previously computed result.  Keys are first reduced
+    to a 64-bit FNV-1a hash for cheap bucketing; the full canonical string
+    is kept alongside the value and compared on lookup, so hash collisions
+    can never alias two different problems.
+
+    Because a hit requires the canonical strings to be byte-identical, a
+    cached result is exactly what recomputing would produce (all solvers
+    in this library are deterministic functions of their inputs) — caching
+    is therefore bitwise-transparent to every artifact.  The caches behind
+    {!Lp.solve_diag} and [Sizing.run] are instances of this module.
+
+    Caching is enabled by default and controlled globally:
+    - the [BUFSIZE_SOLVE_CACHE] environment variable ([0]/[off] disables,
+      a positive integer overrides the default per-cache capacity);
+    - {!set_enabled} flips all caches at runtime (used by benchmarks to
+      measure cold paths and by the warm-cold verify oracle).
+
+    Instances are safe to share across pool domains. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?always:bool -> string -> 'a t
+(** [create name] registers a cache.  [capacity] (default 64, or the
+    [BUFSIZE_SOLVE_CACHE] integer when set) bounds the number of retained
+    entries; the least-recently-used entry is evicted beyond it.  [name]
+    scopes the hit/miss telemetry counters ([cache.<name>.hits] /
+    [cache.<name>.misses] in the {!Bufsize_obs.Obs} metrics registry).
+    [always] (default false) exempts the instance from the global
+    {!set_enabled} switch — for stores with their own independent gate,
+    like the warm-basis registry behind [BUFSIZE_WARM_START] ({!clear_all}
+    still wipes it). *)
+
+val name : 'a t -> string
+
+val find : 'a t -> string -> 'a option
+(** Lookup by canonical key; refreshes the entry's recency on a hit.
+    Always [None] (and counts nothing) when caching is disabled. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) an entry, evicting the least recently used entry
+    when the cache is full.  No-op when caching is disabled. *)
+
+val clear : 'a t -> unit
+(** Drop all entries (hit/miss counters are kept). *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val enabled : unit -> bool
+(** Whether caching is globally enabled right now. *)
+
+val set_enabled : bool -> unit
+(** Override the global switch at runtime (all caches at once). *)
+
+val clear_all : unit -> unit
+(** {!clear} every cache created so far — benchmarks use this to separate
+    cold from warm timings without re-launching the process. *)
+
+val env_var : string
+(** ["BUFSIZE_SOLVE_CACHE"]. *)
+
+val fnv1a : string -> int64
+(** The 64-bit FNV-1a hash used for key bucketing (exposed for tests). *)
+
+val float_repr : float -> string
+(** Lossless float printing for canonical keys: ["%g"] when it round-trips,
+    ["%.17g"] otherwise — the same discipline as the verify harness's
+    repro printers. *)

@@ -201,6 +201,28 @@ let mul_vec_t t x =
 let scale a t = { t with values = Array.map (fun v -> a *. v) t.values }
 let map f t = { t with values = Array.map f t.values }
 
+let with_values t values =
+  if Array.length values <> nnz t then
+    invalid_arg "Sparse.with_values: value count mismatch";
+  { t with values }
+
+let index t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Sparse.index: index out of range";
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !res < 0 then None else Some !res
+
 let transpose t =
   let n = nnz t in
   let row_ptr = Array.make (t.cols + 1) 0 in

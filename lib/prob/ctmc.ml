@@ -55,6 +55,72 @@ let of_rates n rates =
   in
   { n; q; exit }
 
+(* Incremental re-rate: when a sweep changes only the numbers and not the
+   sparsity pattern, rebuild the CSR values in place of a full [of_rates].
+   The accumulation mirrors [of_rates] exactly — duplicates summed in list
+   order per position, exit rates re-summed in ascending-column order — so
+   a successful patch is bitwise-identical to the rebuild.  Any pattern
+   change (a rate at a position the chain does not have, a previously
+   present position accumulating to zero, an exit vanishing or appearing)
+   returns [None] and the caller rebuilds. *)
+let patch_rates t rates =
+  let n = t.n in
+  let ok =
+    List.for_all
+      (fun (i, j, r) -> i >= 0 && i < n && j >= 0 && j < n && i <> j && r >= 0.)
+      rates
+  in
+  if not ok then None
+  else begin
+    let nnz = Sparse.nnz t.q in
+    let vals = Array.make nnz 0. in
+    let touched = Array.make nnz false in
+    let mismatch = ref false in
+    List.iter
+      (fun (i, j, r) ->
+        if not !mismatch then
+          match Sparse.index t.q i j with
+          | None -> mismatch := true
+          | Some k ->
+              vals.(k) <- vals.(k) +. r;
+              touched.(k) <- true)
+      rates;
+    if !mismatch then None
+    else begin
+      (* Every off-diagonal position must survive with a nonzero value
+         (of_triplets would have dropped it otherwise, shifting the
+         pattern). *)
+      let exit = Array.make n 0. in
+      (try
+         for i = 0 to n - 1 do
+           let out = ref 0. in
+           for k = t.q.Sparse.row_ptr.(i) to t.q.Sparse.row_ptr.(i + 1) - 1 do
+             let j = t.q.Sparse.col_idx.(k) in
+             if j <> i then begin
+               if (not touched.(k)) || vals.(k) = 0. then raise Exit;
+               out := !out +. vals.(k)
+             end
+           done;
+           exit.(i) <- !out
+         done
+       with Exit -> mismatch := true);
+      if !mismatch then None
+      else begin
+        (try
+           for i = 0 to n - 1 do
+             match Sparse.index t.q i i with
+             | Some k ->
+                 if exit.(i) = 0. then raise Exit;
+                 vals.(k) <- -.exit.(i)
+             | None -> if exit.(i) <> 0. then raise Exit
+           done
+         with Exit -> mismatch := true);
+        if !mismatch then None
+        else Some { n; q = Sparse.with_values t.q vals; exit }
+      end
+    end
+  end
+
 let of_generator m =
   if m.Mat.rows <> m.Mat.cols then invalid_arg "Ctmc.of_generator: not square";
   let n = m.Mat.rows in
@@ -191,13 +257,24 @@ let max_exit_rate t = Array.fold_left Float.max 0. t.exit
    formed.  Lambda = 2 max_i exit_i keeps every diagonal of P at >= 1/2
    (strong aperiodicity) — the near-minimal rate used by [uniformize]
    would make P almost periodic on symmetric chains and stall convergence. *)
-let stationary_iterative_report ?(tol = 1e-13) ?(max_iter = 200_000) t =
+let stationary_iterative_report ?(tol = 1e-13) ?(max_iter = 200_000) ?init t =
   let n = t.n in
   if n = 1 then ([| 1. |], 0, true)
   else begin
     Obs.incr m_iterative_solves;
     let lambda = Float.max (2. *. max_exit_rate t) 1e-300 in
-    let pi = Array.make n (1. /. float_of_int n) in
+    (* A previous stationary vector (sweep warm start) is accepted as the
+       starting point when it is a plausible distribution of the right
+       size; anything else falls back to uniform. *)
+    let pi =
+      match init with
+      | Some p0
+        when Array.length p0 = n
+             && Array.for_all (fun x -> Float.is_finite x && x >= 0.) p0
+             && Float.abs (Vec.sum p0 -. 1.) <= 1e-6 ->
+          Array.copy p0
+      | _ -> Array.make n (1. /. float_of_int n)
+    in
     let qt_pi = Array.make n 0. in
     let continue = ref true in
     let iters = ref 0 in
@@ -218,8 +295,8 @@ let stationary_iterative_report ?(tol = 1e-13) ?(max_iter = 200_000) t =
     (Array.map (fun p -> p /. total) pi, !iters, not !continue)
   end
 
-let stationary_iterative ?tol ?max_iter t =
-  let pi, _, _ = stationary_iterative_report ?tol ?max_iter t in
+let stationary_iterative ?tol ?max_iter ?init t =
+  let pi, _, _ = stationary_iterative_report ?tol ?max_iter ?init t in
   pi
 
 let stationary t =
@@ -255,7 +332,7 @@ let stationary_residual t pi =
    validated for finiteness/normalization before being trusted, and a
    reducible chain surfacing its closed class in the rejection reason
    rather than as an exception. *)
-let stationary_diag ?budget t =
+let stationary_diag ?budget ?init t =
   let fmt_class cls =
     let shown = List.filteri (fun i _ -> i < 8) cls in
     Printf.sprintf "reducible: closed class [%s%s] (%d states)"
@@ -278,7 +355,7 @@ let stationary_diag ?budget t =
   in
   let lu _ = accept (stationary_dense t) 0 in
   let iterative _ =
-    let pi, iters, converged = stationary_iterative_report t in
+    let pi, iters, converged = stationary_iterative_report ?init t in
     if not (distribution_valid pi) then
       Resilience.Reject "invalid distribution (NaN/Inf, negative, or unnormalized)"
     else if converged then begin

@@ -22,6 +22,18 @@ val of_rates : int -> (int * int * float) list -> t
     @raise Invalid_argument on negative rates, self loops, or out-of-range
     states. *)
 
+val patch_rates : t -> (int * int * float) list -> t option
+(** [patch_rates t rates] rebuilds the chain from new rate triples while
+    reusing the existing sparsity pattern (fresh values array; shared
+    [row_ptr]/[col_idx]) — the incremental path for sweeps that change
+    only the numbers.  A successful patch is bitwise-identical to
+    [of_rates (dim t) rates]: duplicates accumulate in list order and the
+    exit rates re-sum in ascending-column order, exactly as the rebuild
+    would.  Returns [None] — and the caller must rebuild — whenever the
+    pattern shifts: a rate at a position [t] does not have, a previously
+    present position accumulating to zero, an exit rate appearing or
+    vanishing, or an invalid triple (out of range, self loop, negative). *)
+
 val of_generator : Bufsize_numeric.Mat.t -> t
 (** Validates an explicit generator matrix: square, nonnegative
     off-diagonal, rows summing to (numerically) zero. *)
@@ -73,13 +85,25 @@ val communicating_class : t -> int -> int list
     is reached by along positive rates, itself included.  Sorted. *)
 
 val stationary_iterative :
-  ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init:Bufsize_numeric.Vec.t ->
+  t ->
+  Bufsize_numeric.Vec.t
 (** Uniformized power iteration through transposed SpMV — O(nnz) per
     sweep, no dense allocation.  [tol] (default [1e-13]) bounds the
-    per-sweep max update; [max_iter] defaults to [200_000]. *)
+    per-sweep max update; [max_iter] defaults to [200_000].  [init] seeds
+    the iteration with a previous stationary vector (sweep warm start:
+    nearby chains converge in a fraction of the sweeps); it is used only
+    when it is a valid distribution of the right size, so a stale or
+    malformed seed silently falls back to the uniform start. *)
 
 val stationary_iterative_report :
-  ?tol:float -> ?max_iter:int -> t -> Bufsize_numeric.Vec.t * int * bool
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init:Bufsize_numeric.Vec.t ->
+  t ->
+  Bufsize_numeric.Vec.t * int * bool
 (** {!stationary_iterative} plus the sweep count and whether [tol] was
     reached within [max_iter] — the convergence evidence the resilience
     layer needs to distinguish Ok from Degraded. *)
@@ -94,6 +118,7 @@ val stationary_residual : t -> Bufsize_numeric.Vec.t -> float
 
 val stationary_diag :
   ?budget:Bufsize_resilience.Resilience.budget ->
+  ?init:Bufsize_numeric.Vec.t ->
   t ->
   Bufsize_numeric.Vec.t option * Bufsize_resilience.Resilience.diagnostic
 (** Resilient stationary solve with an explicit escalation chain:

@@ -4,6 +4,7 @@ module Kswitching = Bufsize_mdp.Kswitching
 module Pool = Bufsize_pool.Pool
 module Resilience = Bufsize_resilience.Resilience
 module Obs = Bufsize_obs.Obs
+module Solve_cache = Bufsize_numeric.Solve_cache
 
 let m_subsystems = Obs.counter "sizing.subsystems"
 
@@ -181,6 +182,54 @@ let solve_subsystems ?pool config models =
       let gain = Array.fold_left (fun acc s -> acc +. s.Lp_formulation.gain) 0. solutions in
       (solutions, gain, active, words_per_level, health)
 
+(* The expensive middle of [run] — CTMDP construction, the LP solve(s),
+   and the occupancy / K-switching post-processing — is a deterministic
+   function of the post-profile subsystems and the numeric config, so it
+   is memoized in a process-wide exact-key cache.  The key prints every
+   number that feeds the computation losslessly (including the
+   [client_weight] closure {e evaluated} on each client — closures cannot
+   be compared, their values on the actual inputs can), so a hit replays
+   exactly what a recompute would produce.  Allocation and the occupancy
+   health check are recomputed fresh on hits: they also depend on the
+   caller's [traffic] value, which the key does not capture. *)
+type cached = {
+  c_solutions : subsystem_solution array;
+  c_total_gain : float;
+  c_words_per_level : float;
+  c_bound_active : bool;
+  c_lp_health : Resilience.health;
+}
+
+let cache : cached Solve_cache.t = Solve_cache.create ~capacity:16 "sizing"
+
+let cache_stats () = (Solve_cache.hits cache, Solve_cache.misses cache)
+
+let cache_key config (subsystems : Splitting.subsystem array) =
+  let buf = Buffer.create 512 in
+  let fstr = Solve_cache.float_repr in
+  Buffer.add_string buf
+    (Printf.sprintf "sizing1 budget %d kappa %s q %s states %d solver %s\n" config.budget
+       (fstr config.occupancy_fraction) (fstr config.quantile) config.max_states
+       (match config.solver with Joint -> "joint" | Separate -> "separate"));
+  Array.iter
+    (fun (s : Splitting.subsystem) ->
+      Buffer.add_string buf
+        (Printf.sprintf "sub %d bus %d name %s mu %s:" s.Splitting.index s.Splitting.bus
+           s.Splitting.bus_name
+           (fstr s.Splitting.service_rate));
+      List.iter
+        (fun (c, r) ->
+          (match c with
+          | Traffic.Proc_client p -> Buffer.add_string buf (Printf.sprintf " p%d" p)
+          | Traffic.Bridge_client { bridge; into_bus } ->
+              Buffer.add_string buf (Printf.sprintf " b%d>%d" bridge into_bus));
+          Buffer.add_string buf
+            (Printf.sprintf "=%s w%s" (fstr r) (fstr (config.client_weight c))))
+        s.Splitting.clients;
+      Buffer.add_char buf '\n')
+    subsystems;
+  Buffer.contents buf
+
 let run ?measured_rates ?pool config traffic =
   Obs.span ~name:"sizing.run"
     ~attrs:(fun () -> [ ("budget", string_of_int config.budget) ])
@@ -208,42 +257,63 @@ let run ?measured_rates ?pool config traffic =
         in
         { s with Splitting.clients }
   in
-  let models =
-    Pool.map_array ?pool
-      (fun s ->
-        Obs.span ~name:"sizing.build"
-          ~attrs:(fun () -> [ ("bus", string_of_int s.Splitting.bus) ])
-          (fun () ->
-            Bus_model.build ~weights:config.client_weight ~max_states:config.max_states
-              (apply_profile s)))
-      split.Splitting.subsystems
-  in
-  Obs.add m_subsystems (Array.length models);
-  let solved, total_gain, bound_active, words_per_level, lp_health =
-    solve_subsystems ?pool config models
-  in
-  let solutions =
-    Pool.mapi_array ?pool
-      (fun i model ->
-        Obs.span ~name:"sizing.occupancy"
-          ~attrs:(fun () -> [ ("bus", bus_label model) ])
-        @@ fun () ->
-        let s = solved.(i) in
-        let occupancy = Bus_model.occupancy_distribution model s.Lp_formulation.policy in
-        let switching =
-          (* The joint problem has one shared constraint, so at most one
-             randomized state exists across ALL subsystems; states with
-             negligible occupation mass are filtered (their conditional
-             probabilities are numerical noise). *)
-          Kswitching.of_occupation ~mass_tol:1e-7 ~constraints:1 (Bus_model.ctmdp model)
-            s.Lp_formulation.occupation
+  let subsystems = Array.map apply_profile split.Splitting.subsystems in
+  Obs.add m_subsystems (Array.length subsystems);
+  let key = cache_key config subsystems in
+  let payload =
+    match Solve_cache.find cache key with
+    | Some p -> p
+    | None ->
+        let models =
+          Pool.map_array ?pool
+            (fun (s : Splitting.subsystem) ->
+              Obs.span ~name:"sizing.build"
+                ~attrs:(fun () -> [ ("bus", string_of_int s.Splitting.bus) ])
+                (fun () ->
+                  Bus_model.build ~weights:config.client_weight
+                    ~max_states:config.max_states s))
+            subsystems
         in
-        let requirements =
-          requirements_for model ~words_per_level ~quantile:config.quantile occupancy
+        let solved, total_gain, bound_active, words_per_level, lp_health =
+          solve_subsystems ?pool config models
         in
-        { model; solved = s; switching; occupancy; requirements })
-      models
+        let solutions =
+          Pool.mapi_array ?pool
+            (fun i model ->
+              Obs.span ~name:"sizing.occupancy"
+                ~attrs:(fun () -> [ ("bus", bus_label model) ])
+              @@ fun () ->
+              let s = solved.(i) in
+              let occupancy = Bus_model.occupancy_distribution model s.Lp_formulation.policy in
+              let switching =
+                (* The joint problem has one shared constraint, so at most one
+                   randomized state exists across ALL subsystems; states with
+                   negligible occupation mass are filtered (their conditional
+                   probabilities are numerical noise). *)
+                Kswitching.of_occupation ~mass_tol:1e-7 ~constraints:1
+                  (Bus_model.ctmdp model) s.Lp_formulation.occupation
+              in
+              let requirements =
+                requirements_for model ~words_per_level ~quantile:config.quantile occupancy
+              in
+              { model; solved = s; switching; occupancy; requirements })
+            models
+        in
+        let payload =
+          {
+            c_solutions = solutions;
+            c_total_gain = total_gain;
+            c_words_per_level = words_per_level;
+            c_bound_active = bound_active;
+            c_lp_health = lp_health;
+          }
+        in
+        (* Degraded solves may depend on wall-clock budgets; only the
+           deterministic clean path is worth replaying. *)
+        if Resilience.health_ok lp_health then Solve_cache.add cache key payload;
+        payload
   in
+  let solutions = payload.c_solutions in
   let all_requirements =
     Array.to_list solutions |> List.concat_map (fun s -> s.requirements)
   in
@@ -279,10 +349,10 @@ let run ?measured_rates ?pool config traffic =
     split;
     solutions;
     allocation;
-    predicted_loss_rate = total_gain;
-    words_per_level;
-    budget_bound_active = bound_active;
-    health = lp_health @ occupancy_health;
+    predicted_loss_rate = payload.c_total_gain;
+    words_per_level = payload.c_words_per_level;
+    budget_bound_active = payload.c_bound_active;
+    health = payload.c_lp_health @ occupancy_health;
   }
 
 let requirements_of_solution r =

@@ -92,4 +92,16 @@ val run :
 val requirements_of_solution : result -> (Topology.bus_id * Traffic.client * float) list
 (** All subsystems' requirements concatenated. *)
 
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the sizing-level solve cache.  {!run} memoizes its
+    expensive middle — CTMDP construction, the LP solve(s), and the
+    occupancy / K-switching post-processing — in a process-wide exact-key
+    {!Bufsize_numeric.Solve_cache} keyed on a lossless print of the
+    post-profile subsystems and every numeric config field (with
+    [client_weight] evaluated per client).  A hit replays exactly what a
+    recompute would produce; allocation and the occupancy health check are
+    recomputed fresh.  Only clean (all-[Ok]) solves are stored.  Disable
+    process-wide with [BUFSIZE_SOLVE_CACHE=0] or
+    {!Bufsize_numeric.Solve_cache.set_enabled}. *)
+
 val pp_summary : Format.formatter -> result -> unit

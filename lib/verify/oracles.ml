@@ -647,9 +647,257 @@ let split_monolithic =
       (fun ~max_states:_ rng -> monolithic_case_to_oracle_case (Gen_model.monolithic_spec rng));
   }
 
+(* -------------------------------------------------------- 6. warm-cold *)
+
+(* Warm-started, incrementally patched, and cached solves must reproduce
+   their cold baselines: re-using an optimal basis (from the same or a
+   perturbed LP) must not move the objective, a rate-patched CTMC must be
+   bitwise the full rebuild, seeded iterations must converge to the cold
+   fixed point, and a cache-served sizing run must be bitwise the
+   cache-off run. *)
+
+let warm_tol = 1e-9
+
+let check_warm_lp (c : Gen_model.lp_case) =
+  let fresh () = Gen_model.lp_of_case c in
+  match Lp.solve ~engine:Lp.Revised (fresh ()) with
+  | Lp.Infeasible | Lp.Unbounded -> Pass (* no optimal basis to warm from *)
+  | Lp.Optimal cold ->
+      all_of
+        [
+          (fun () ->
+            (* Re-solving from the optimal basis itself: the warm path must
+               accept it (or fall back) and land on the same objective. *)
+            match Lp.solve ~warm_basis:cold.Lp.basis (fresh ()) with
+            | Lp.Optimal warm ->
+                if rel_close warm_tol warm.Lp.objective cold.Lp.objective then Pass
+                else
+                  failf "same-problem warm restart: objective %.15g vs cold %.15g"
+                    warm.Lp.objective cold.Lp.objective
+            | o -> failf "same-problem warm restart reclassified as %s" (outcome_name o));
+          (fun () ->
+            (* The canonical warm start: a basis taken from a problem with
+               nudged right-hand sides.  Whether re-used or rejected, the
+               answer must match the cold one. *)
+            let nudged =
+              {
+                c with
+                Gen_model.rows =
+                  List.map (fun (t, s, rhs) -> (t, s, rhs +. 0.125)) c.Gen_model.rows;
+              }
+            in
+            match Lp.solve ~engine:Lp.Revised (Gen_model.lp_of_case nudged) with
+            | Lp.Infeasible | Lp.Unbounded -> Pass
+            | Lp.Optimal near -> (
+                match Lp.solve ~warm_basis:near.Lp.basis (fresh ()) with
+                | Lp.Optimal warm ->
+                    if rel_close warm_tol warm.Lp.objective cold.Lp.objective then Pass
+                    else
+                      failf "perturbed-basis warm start: objective %.15g vs cold %.15g"
+                        warm.Lp.objective cold.Lp.objective
+                | o -> failf "perturbed-basis warm start reclassified as %s" (outcome_name o)));
+        ]
+
+let rec warm_lp_to_oracle_case (c : Gen_model.lp_case) =
+  {
+    label =
+      Printf.sprintf "warm lp: %d vars, %d rows" (Array.length c.Gen_model.obj)
+        (List.length c.Gen_model.rows);
+    repro = "# warm-cold kind: lp\n" ^ Gen_model.lp_case_to_string c;
+    check = (fun () -> check_warm_lp c);
+    shrink = (fun () -> List.map warm_lp_to_oracle_case (shrink_lp_case c));
+  }
+
+(* The chain induced by each state's first action; the generated cycle
+   edge makes it irreducible. *)
+let first_choice_rates (c : Gen_model.ctmdp_case) =
+  let triples = ref [] in
+  Array.iteri
+    (fun s acts ->
+      match acts with
+      | (_, transitions, _, _) :: _ ->
+          List.iter (fun (t, r) -> if r > 0. then triples := (s, t, r) :: !triples) transitions
+      | [] -> ())
+    c.Gen_model.actions;
+  List.rev !triples
+
+let same_generator a b =
+  let n = Ctmc.dim a in
+  if Ctmc.dim b <> n then false
+  else begin
+    let same = ref true in
+    for i = 0 to n - 1 do
+      if Int64.bits_of_float (Ctmc.exit_rate a i) <> Int64.bits_of_float (Ctmc.exit_rate b i)
+      then same := false;
+      for j = 0 to n - 1 do
+        if
+          i <> j
+          && Int64.bits_of_float (Ctmc.rate a i j) <> Int64.bits_of_float (Ctmc.rate b i j)
+        then same := false
+      done
+    done;
+    !same
+  end
+
+let check_warm_ctmdp (c : Gen_model.ctmdp_case) =
+  let m = Gen_model.ctmdp_of_case c in
+  let n = c.Gen_model.num_states in
+  let rates = first_choice_rates c in
+  let chain = Ctmc.of_rates n rates in
+  all_of
+    [
+      (fun () ->
+        (* Occupation LP warm-restarted from its own optimal basis. *)
+        match Lp.solve ~engine:Lp.Revised (Lp_formulation.build m) with
+        | Lp.Infeasible | Lp.Unbounded -> failf "occupation LP not optimal on a valid CTMDP"
+        | Lp.Optimal cold -> (
+            match Lp.solve ~warm_basis:cold.Lp.basis (Lp_formulation.build m) with
+            | Lp.Optimal warm ->
+                if rel_close warm_tol warm.Lp.objective cold.Lp.objective then Pass
+                else
+                  failf "occupation LP warm gain %.15g vs cold %.15g" warm.Lp.objective
+                    cold.Lp.objective
+            | o -> failf "occupation LP warm restart reclassified as %s" (outcome_name o)));
+      (fun () ->
+        (* Same-pattern rate patch vs full rebuild: bitwise. *)
+        let scaled = List.map (fun (i, j, r) -> (i, j, r *. 1.5)) rates in
+        match Ctmc.patch_rates chain scaled with
+        | None -> failf "patch_rates rejected a same-pattern rate change"
+        | Some patched ->
+            if same_generator patched (Ctmc.of_rates n scaled) then Pass
+            else failf "patched generator differs bitwise from the rebuild");
+      (fun () ->
+        (* Power iteration seeded with a nearby chain's stationary vector
+           must land on the cold fixed point. *)
+        let scaled = List.map (fun (i, j, r) -> (i, j, r *. 1.25)) rates in
+        let nearby = Ctmc.of_rates n scaled in
+        let seed = Ctmc.stationary_iterative chain in
+        let pi_cold = Ctmc.stationary_iterative nearby in
+        let pi_seeded = Ctmc.stationary_iterative ~init:seed nearby in
+        let diff = ref 0. in
+        Array.iteri
+          (fun i p -> diff := Float.max !diff (Float.abs (p -. pi_cold.(i))))
+          pi_seeded;
+        if !diff <= 1e-8 && Ctmc.stationary_residual nearby pi_seeded <= 1e-8 then Pass
+        else
+          failf "seeded stationary differs from cold by %.3e (residual %.3e)" !diff
+            (Ctmc.stationary_residual nearby pi_seeded));
+      (fun () ->
+        (* Policy evaluation seeded with its own bias: same gain. *)
+        let choice = Array.make n 0 in
+        let g_cold, h_cold = Policy_iteration.evaluate_deterministic_iterative m choice in
+        let g_seed, _ =
+          Policy_iteration.evaluate_deterministic_iterative ~init_bias:h_cold m choice
+        in
+        if rel_close 1e-8 g_cold g_seed then Pass
+        else failf "bias-seeded evaluation gain %.15g vs cold %.15g" g_seed g_cold);
+    ]
+
+let rec warm_ctmdp_to_oracle_case (c : Gen_model.ctmdp_case) =
+  {
+    label = Printf.sprintf "warm ctmdp: %d states" c.Gen_model.num_states;
+    repro = "# warm-cold kind: ctmdp\n" ^ Gen_model.ctmdp_case_to_string c;
+    check = (fun () -> check_warm_ctmdp c);
+    shrink = (fun () -> List.map warm_ctmdp_to_oracle_case (shrink_ctmdp_case c));
+  }
+
+let bits = Int64.bits_of_float
+
+let check_warm_sizing (c : sizing_case) =
+  match Spec_parser.parse c.text with
+  | Error e -> failf "repro text no longer parses: %s" e
+  | Ok (_, traffic) ->
+      let config =
+        { (Sizing.default_config ~budget:c.budget) with Sizing.max_states = c.max_states }
+      in
+      let was_cached = Bufsize_numeric.Solve_cache.enabled () in
+      let was_warm = Lp.warm_start_enabled () in
+      Fun.protect
+        ~finally:(fun () ->
+          Bufsize_numeric.Solve_cache.set_enabled was_cached;
+          Lp.set_warm_start was_warm;
+          Bufsize_numeric.Solve_cache.clear_all ())
+        (fun () ->
+          (* Cold: no caching, no warm starts. *)
+          Bufsize_numeric.Solve_cache.set_enabled false;
+          Lp.set_warm_start false;
+          let cold = Sizing.run config traffic in
+          (* Warm: caches on (empty), warm-start hand-off on.  The first
+             run populates, the second must be served verbatim. *)
+          Bufsize_numeric.Solve_cache.set_enabled true;
+          Bufsize_numeric.Solve_cache.clear_all ();
+          Lp.set_warm_start true;
+          let w1 = Sizing.run config traffic in
+          let w2 = Sizing.run config traffic in
+          let same_run a b =
+            a.Sizing.allocation = b.Sizing.allocation
+            && bits a.Sizing.predicted_loss_rate = bits b.Sizing.predicted_loss_rate
+            && bits a.Sizing.words_per_level = bits b.Sizing.words_per_level
+            && a.Sizing.budget_bound_active = b.Sizing.budget_bound_active
+          in
+          all_of
+            [
+              (fun () ->
+                if same_run cold w1 then Pass
+                else
+                  failf "cached+warm sizing differs from cold (loss %.17g vs %.17g)"
+                    w1.Sizing.predicted_loss_rate cold.Sizing.predicted_loss_rate);
+              (fun () ->
+                if same_run w1 w2 then Pass
+                else
+                  failf "cache-served rerun differs from its own first run (loss %.17g vs %.17g)"
+                    w2.Sizing.predicted_loss_rate w1.Sizing.predicted_loss_rate);
+            ])
+
+let warm_sizing_header (c : sizing_case) =
+  Printf.sprintf "# warm-cold kind: sizing\n# warm-cold sizing: budget %d words, max_states %d\n%s"
+    c.budget c.max_states c.text
+
+let rec warm_sizing_to_oracle_case (c : sizing_case) =
+  {
+    label = Printf.sprintf "warm sizing: budget %d, max_states %d" c.budget c.max_states;
+    repro = warm_sizing_header c;
+    check = (fun () -> check_warm_sizing c);
+    shrink = (fun () -> List.map warm_sizing_to_oracle_case (shrink_sizing_case c));
+  }
+
+let warm_cold =
+  {
+    name = "warm-cold";
+    doc = "warm-started, patched, and cached solves vs their cold baselines";
+    generate =
+      (fun ~max_states rng ->
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 -> warm_lp_to_oracle_case (Gen_model.lp_case rng)
+        | 5 | 6 | 7 ->
+            let knobs =
+              { Gen_model.default_ctmdp_knobs with Gen_model.max_states = Int.min 7 max_states }
+            in
+            warm_ctmdp_to_oracle_case (Gen_model.ctmdp_case ~knobs rng)
+        | _ ->
+            let topo, traffic = Gen_model.arch rng in
+            let nclients = Splitting.total_clients (Splitting.split traffic) in
+            let budget = nclients * (2 + Rng.int rng 3) in
+            warm_sizing_to_oracle_case
+              {
+                text = Spec_parser.to_string topo traffic;
+                budget;
+                max_states = Int.max 8 (Int.min max_states 48);
+              });
+  }
+
 (* ----------------------------------------------------------- the matrix *)
 
-let all = [ simplex_cross; mdp_gain; sim_analytic; sizing_bounds; split_monolithic; Chaos.oracle ]
+let all =
+  [
+    simplex_cross;
+    mdp_gain;
+    sim_analytic;
+    sizing_bounds;
+    split_monolithic;
+    warm_cold;
+    Chaos.oracle;
+  ]
 
 let find name = List.find_opt (fun o -> o.name = name) all
 
@@ -719,4 +967,23 @@ let case_of_repro text =
               match Spec_parser.parse text with
               | Error e -> Error ("sizing-bounds: " ^ e)
               | Ok _ -> Ok (sizing_case_to_oracle_case { text; budget; max_states }))))
+  | Some "warm-cold" -> (
+      match header_value ~prefix:"# warm-cold kind:" text with
+      | None -> Error "warm-cold repro has no '# warm-cold kind:' header"
+      | Some "lp" -> Result.map warm_lp_to_oracle_case (Gen_model.lp_case_of_string text)
+      | Some "ctmdp" ->
+          Result.map warm_ctmdp_to_oracle_case (Gen_model.ctmdp_case_of_string text)
+      | Some "sizing" -> (
+          match header_value ~prefix:"# warm-cold sizing:" text with
+          | None -> Error "warm-cold sizing repro has no '# warm-cold sizing:' header"
+          | Some hdr -> (
+              match
+                Scanf.sscanf_opt hdr "budget %d words, max_states %d" (fun b m -> (b, m))
+              with
+              | None -> Error ("warm-cold: bad sizing header: " ^ hdr)
+              | Some (budget, max_states) -> (
+                  match Spec_parser.parse text with
+                  | Error e -> Error ("warm-cold: " ^ e)
+                  | Ok _ -> Ok (warm_sizing_to_oracle_case { text; budget; max_states }))))
+      | Some other -> Error ("warm-cold: unknown sub-case kind " ^ other))
   | Some other -> Error (Printf.sprintf "unknown oracle %S in repro" other)

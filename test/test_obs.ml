@@ -145,7 +145,9 @@ let test_span_with_id_cross_reference () =
 let test_pool_context_propagation () =
   fresh ();
   Obs.enable_spans ();
-  let pool = Pool.create 2 in
+  (* Oversubscribed so cross-domain propagation is really exercised even
+     on a single-core runner. *)
+  let pool = Pool.create ~oversubscribe:true 2 in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
     (fun () ->

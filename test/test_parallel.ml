@@ -12,8 +12,10 @@ module Buffer_alloc = Bufsize_soc.Buffer_alloc
 module Sim_run = Bufsize_sim.Sim_run
 module Replicate = Bufsize_sim.Replicate
 
+(* Tests must exercise real multi-domain execution even on single-core CI
+   runners, so they lift the core-count cap. *)
 let with_pool k f =
-  let pool = Pool.create k in
+  let pool = Pool.create ~oversubscribe:true k in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 (* ------------------------------------------------------------------ pool *)
