@@ -5,6 +5,7 @@
      size        run the CTMDP buffer sizing and print the allocation
      simulate    simulate one allocation policy and print loss statistics
      experiment  the paper's before/after/timeout comparison
+     kron        exact monolithic solve via the Kronecker/SAN path vs the split
      verify      differential oracles over random instances (fuzz harness)
 
    Architectures: fig1 (the paper's sample), netproc (the 17-processor
@@ -288,7 +289,7 @@ let verify_cmd =
   let oracle_arg =
     let doc =
       "Run only this oracle (repeatable). Available: simplex-cross, mdp-gain, sim-analytic, \
-       sizing-bounds, split-monolithic, chaos. Default: all."
+       sizing-bounds, split-monolithic, warm-cold, kron, chaos. Default: all."
     in
     Arg.(value & opt_all string [] & info [ "o"; "oracle" ] ~docv:"NAME" ~doc)
   in
@@ -361,6 +362,83 @@ let verify_cmd =
       const run $ seed_arg $ count_arg $ oracle_arg $ out_dir_arg $ verify_max_states_arg
       $ list_arg $ replay_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
+(* ----------------------------------------------------------------- kron *)
+
+let kron_cmd =
+  let kx_arg =
+    let doc = "Producer bus X queue capacity." in
+    Arg.(value & opt int 19 & info [ "kx" ] ~docv:"K" ~doc)
+  in
+  let ky_arg =
+    let doc = "Consumer bus Y local-queue capacity." in
+    Arg.(value & opt int 19 & info [ "ky" ] ~docv:"K" ~doc)
+  in
+  let bridge_arg =
+    let doc = "Bridge buffer capacity (default: same as --ky)." in
+    Arg.(value & opt (some int) None & info [ "bridge" ] ~docv:"K" ~doc)
+  in
+  let lambda_x_arg =
+    let doc = "Arrival rate into bus X." in
+    Arg.(value & opt float 1.5 & info [ "lambda-x" ] ~docv:"RATE" ~doc)
+  in
+  let lambda_y_arg =
+    let doc = "Local arrival rate into bus Y." in
+    Arg.(value & opt float 1.2 & info [ "lambda-y" ] ~docv:"RATE" ~doc)
+  in
+  let cross_arg =
+    let doc = "Fraction of X completions that cross the bridge." in
+    Arg.(value & opt float 0.25 & info [ "cross" ] ~docv:"F" ~doc)
+  in
+  let mu_x_arg =
+    let doc = "Service rate of bus X." in
+    Arg.(value & opt float 2.4 & info [ "mu-x" ] ~docv:"RATE" ~doc)
+  in
+  let mu_y_arg =
+    let doc = "Service rate of bus Y (processor-shared with the bridge)." in
+    Arg.(value & opt float 2.2 & info [ "mu-y" ] ~docv:"RATE" ~doc)
+  in
+  let tol_arg =
+    let doc = "Power-iteration convergence tolerance." in
+    Arg.(value & opt float 1e-12 & info [ "tol" ] ~docv:"TOL" ~doc)
+  in
+  let max_sweeps_arg =
+    let doc = "Power-iteration sweep cap." in
+    Arg.(value & opt int 200_000 & info [ "max-sweeps" ] ~docv:"N" ~doc)
+  in
+  let cold_arg =
+    let doc = "Start from the uniform distribution instead of the split-product seed." in
+    Arg.(value & flag & info [ "cold" ] ~doc)
+  in
+  let run kx ky bridge lambda_x lambda_y cross mu_x mu_y tol max_sweeps cold trace metrics
+      metrics_json =
+    setup_telemetry trace metrics metrics_json;
+    if kx < 1 || ky < 1 then begin
+      Format.eprintf "error: queue capacities must be at least 1@.";
+      exit 1
+    end;
+    let spec =
+      { B.Monolithic.kx; ky; lambda_x; lambda_y; cross_fraction = cross; mu_x; mu_y }
+    in
+    let g =
+      B.San_bridge.compare_split ~tol ~max_sweeps ~warm_start:(not cold)
+        ?bridge_capacity:bridge spec
+    in
+    Format.printf "%a@." B.San_bridge.pp_gap g;
+    if not g.B.San_bridge.joint.B.San_bridge.converged then begin
+      Format.eprintf "error: power iteration did not converge (raise --max-sweeps)@.";
+      exit 1
+    end
+  in
+  let doc =
+    "Solve the un-split bridged model exactly through the Kronecker/SAN descriptor and report \
+     the split approximation's loss and delay gaps."
+  in
+  Cmd.v (Cmd.info "kron" ~doc)
+    Term.(
+      const run $ kx_arg $ ky_arg $ bridge_arg $ lambda_x_arg $ lambda_y_arg $ cross_arg
+      $ mu_x_arg $ mu_y_arg $ tol_arg $ max_sweeps_arg $ cold_arg $ trace_arg $ metrics_arg
+      $ metrics_json_arg)
+
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -396,4 +474,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "bufsize" ~version:"1.0.0" ~doc)
-          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; dot_cmd; verify_cmd ]))
+          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; kron_cmd; dot_cmd; verify_cmd ]))

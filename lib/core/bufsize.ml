@@ -11,6 +11,7 @@ module Bus_model = Bufsize_soc.Bus_model
 module Buffer_alloc = Bufsize_soc.Buffer_alloc
 module Sizing = Bufsize_soc.Sizing
 module Monolithic = Bufsize_soc.Monolithic
+module San_bridge = Bufsize_soc.San_bridge
 module Dot = Bufsize_soc.Dot
 module Spec_parser = Bufsize_soc.Spec_parser
 module Fig1 = Bufsize_soc.Fig1

@@ -48,6 +48,13 @@ module Bus_model = Bufsize_soc.Bus_model
 module Buffer_alloc = Bufsize_soc.Buffer_alloc
 module Sizing = Bufsize_soc.Sizing
 module Monolithic = Bufsize_soc.Monolithic
+
+module San_bridge = Bufsize_soc.San_bridge
+(** Exact monolithic (un-split) solve of the bridged two-bus model as a
+    stochastic automata network: the joint generator stays in
+    sum-of-Kronecker form ({!Numeric.Kronecker}), so the state space
+    scales multiplicatively while memory stays additive. *)
+
 module Dot = Bufsize_soc.Dot
 module Spec_parser = Bufsize_soc.Spec_parser
 module Fig1 = Bufsize_soc.Fig1

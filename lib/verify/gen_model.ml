@@ -531,3 +531,257 @@ let monolithic_of_string text =
       | _ -> Error ("monolithic: unrecognized line: " ^ line))
   | [] -> Error "monolithic: empty repro"
   | _ -> Error "monolithic: expected exactly one spec line"
+
+(* ----------------------------------------------------- SAN descriptors *)
+
+module San = Bufsize_prob.San
+
+type san_knobs = {
+  max_automata : int;
+  max_size : int;
+  max_extra_local : int;
+  max_events : int;
+  min_rate : float;
+  max_rate : float;
+}
+
+let default_san_knobs =
+  {
+    max_automata = 3;
+    max_size = 4;
+    max_extra_local = 2;
+    max_events = 2;
+    min_rate = 0.1;
+    max_rate = 2.0;
+  }
+
+type san_case = { automata : San.automaton list; events : San.event list }
+
+let san_case ?(knobs = default_san_knobs) rng =
+  if knobs.max_automata < 2 || knobs.max_size < 2 then
+    invalid_arg "Gen_model.san_case: degenerate knobs";
+  let n_aut = 2 + Rng.int rng (knobs.max_automata - 1) in
+  let automata =
+    List.init n_aut (fun i ->
+        let d = 2 + Rng.int rng (knobs.max_size - 1) in
+        (* The local cycle s -> s+1 mod d visits every local state under
+           local transitions alone, so the joint chain is irreducible no
+           matter what the events do — the stationary cross-check never
+           chases closed-class ambiguity. *)
+        let cycle =
+          List.init d (fun s -> (s, (s + 1) mod d, float_in rng knobs.min_rate knobs.max_rate))
+        in
+        let extras =
+          List.init
+            (Rng.int rng (knobs.max_extra_local + 1))
+            (fun _ ->
+              let f = Rng.int rng d in
+              let t = ref (Rng.int rng d) in
+              while !t = f do
+                t := Rng.int rng d
+              done;
+              (f, !t, float_in rng knobs.min_rate knobs.max_rate))
+        in
+        { San.name = Printf.sprintf "a%d" i; size = d; local = cycle @ extras })
+  in
+  let sizes = Array.of_list (List.map (fun a -> a.San.size) automata) in
+  let events =
+    List.init
+      (Rng.int rng (knobs.max_events + 1))
+      (fun e ->
+        let participates = Array.init n_aut (fun _ -> Rng.bool rng) in
+        if Array.for_all not participates then participates.(Rng.int rng n_aut) <- true;
+        let routing =
+          List.init n_aut Fun.id
+          |> List.filter_map (fun a ->
+                 if not participates.(a) then None
+                 else begin
+                   let d = sizes.(a) in
+                   let rows =
+                     List.init d (fun s ->
+                         if Rng.int rng 3 = 0 then None
+                         else Some (s, Rng.int rng d, float_in rng 0.1 1.0))
+                     |> List.filter_map Fun.id
+                   in
+                   (* A participant with no routing rows would disable the
+                      event everywhere; keep at least one row. *)
+                   let rows =
+                     if rows = [] then [ (0, Rng.int rng d, float_in rng 0.1 1.0) ] else rows
+                   in
+                   Some (a, rows)
+                 end)
+        in
+        let scaling =
+          List.init n_aut Fun.id
+          |> List.filter_map (fun a ->
+                 if participates.(a) || Rng.int rng 3 <> 0 then None
+                 else Some (a, Array.init sizes.(a) (fun _ -> float_in rng 0. 1.5)))
+        in
+        {
+          San.label = Printf.sprintf "e%d" e;
+          rate = float_in rng knobs.min_rate knobs.max_rate;
+          routing;
+          scaling;
+        })
+  in
+  { automata; events }
+
+let san_of_case c = San.create c.automata c.events
+
+let san_case_to_string c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "san automata %d\n" (List.length c.automata));
+  Buffer.add_string buf "sizes:";
+  List.iter (fun a -> Buffer.add_string buf (Printf.sprintf " %d" a.San.size)) c.automata;
+  Buffer.add_char buf '\n';
+  let edges rows =
+    String.concat ""
+      (List.map (fun (f, t, r) -> Printf.sprintf " %d->%d@%s" f t (fstr r)) rows)
+  in
+  List.iteri
+    (fun i a ->
+      if a.San.local <> [] then
+        Buffer.add_string buf (Printf.sprintf "local %d :%s\n" i (edges a.San.local)))
+    c.automata;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "event %s rate %s\n" e.San.label (fstr e.San.rate));
+      List.iter
+        (fun (a, rows) -> Buffer.add_string buf (Printf.sprintf "route %d :%s\n" a (edges rows)))
+        e.San.routing;
+      List.iter
+        (fun (a, mult) ->
+          Buffer.add_string buf (Printf.sprintf "scale %d :" a);
+          Array.iter (fun m -> Buffer.add_string buf (" " ^ fstr m)) mult;
+          Buffer.add_char buf '\n')
+        e.San.scaling)
+    c.events;
+  Buffer.contents buf
+
+(* "2->0@1.5" -> Some (2, 0, 1.5) *)
+let parse_edge_tok tok =
+  let len = String.length tok in
+  let rec arrow i =
+    if i + 1 >= len then None
+    else if tok.[i] = '-' && tok.[i + 1] = '>' then Some i
+    else arrow (i + 1)
+  in
+  match arrow 0 with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt tok i '@' with
+      | None -> None
+      | Some at -> (
+          match
+            ( int_of_string_opt (String.sub tok 0 i),
+              int_of_string_opt (String.sub tok (i + 2) (at - i - 2)),
+              float_of_string_opt (String.sub tok (at + 1) (len - at - 1)) )
+          with
+          | Some f, Some t, Some r -> Some (f, t, r)
+          | _ -> None))
+
+let san_case_of_string text =
+  match repro_lines text with
+  | [] -> Error "san: empty repro"
+  | header :: rest -> (
+      match tokens header with
+      | [ "san"; "automata"; na ] -> (
+          match int_of_string_opt na with
+          | Some n_aut when n_aut >= 1 ->
+              let sizes = ref [||] in
+              let locals = ref [||] in
+              let events = ref [] in
+              let current = ref None in
+              let error = ref None in
+              let fail msg = if !error = None then error := Some msg in
+              let flush () =
+                match !current with
+                | Some (label, rate, routing, scaling) ->
+                    events :=
+                      {
+                        San.label;
+                        rate;
+                        routing = List.rev routing;
+                        scaling = List.rev scaling;
+                      }
+                      :: !events;
+                    current := None
+                | None -> ()
+              in
+              let parse_edges line tl =
+                List.fold_left
+                  (fun acc tok ->
+                    match (acc, parse_edge_tok tok) with
+                    | Some acc, Some e -> Some (e :: acc)
+                    | _ ->
+                        fail ("san: bad edge token in: " ^ line);
+                        None)
+                  (Some []) tl
+                |> Option.map List.rev
+              in
+              let automaton_index line a =
+                match int_of_string_opt a with
+                | Some i when i >= 0 && i < n_aut -> Some i
+                | _ ->
+                    fail ("san: automaton index out of range in: " ^ line);
+                    None
+              in
+              List.iter
+                (fun line ->
+                  match tokens line with
+                  | "sizes:" :: tl ->
+                      let parsed = List.filter_map int_of_string_opt tl in
+                      if List.length parsed <> n_aut || List.exists (fun d -> d < 1) parsed
+                      then fail ("san: bad sizes line: " ^ line)
+                      else begin
+                        sizes := Array.of_list parsed;
+                        locals := Array.make n_aut []
+                      end
+                  | "local" :: a :: ":" :: tl -> (
+                      match (automaton_index line a, parse_edges line tl) with
+                      | Some i, Some edges ->
+                          if Array.length !locals = 0 then
+                            fail "san: local line before sizes"
+                          else !locals.(i) <- edges
+                      | _ -> ())
+                  | [ "event"; label; "rate"; r ] -> (
+                      match float_of_string_opt r with
+                      | Some rate ->
+                          flush ();
+                          current := Some (label, rate, [], [])
+                      | None -> fail ("san: bad event line: " ^ line))
+                  | "route" :: a :: ":" :: tl -> (
+                      match (!current, automaton_index line a, parse_edges line tl) with
+                      | Some (label, rate, routing, scaling), Some i, Some edges ->
+                          current := Some (label, rate, (i, edges) :: routing, scaling)
+                      | None, _, _ -> fail ("san: route line outside an event: " ^ line)
+                      | _ -> ())
+                  | "scale" :: a :: ":" :: tl -> (
+                      let mult = List.filter_map float_of_string_opt tl in
+                      match (!current, automaton_index line a) with
+                      | Some (label, rate, routing, scaling), Some i ->
+                          if List.length mult <> List.length tl then
+                            fail ("san: bad scale line: " ^ line)
+                          else
+                            current :=
+                              Some (label, rate, routing, (i, Array.of_list mult) :: scaling)
+                      | None, _ -> fail ("san: scale line outside an event: " ^ line)
+                      | _ -> ())
+                  | _ -> fail ("san: unrecognized line: " ^ line))
+                rest;
+              flush ();
+              if Array.length !sizes = 0 then fail "san: missing sizes line";
+              (match !error with
+              | Some e -> Error e
+              | None ->
+                  let automata =
+                    List.init n_aut (fun i ->
+                        {
+                          San.name = Printf.sprintf "a%d" i;
+                          size = !sizes.(i);
+                          local = !locals.(i);
+                        })
+                  in
+                  Ok { automata; events = List.rev !events })
+          | _ -> Error ("san: bad automata count: " ^ na))
+      | _ -> Error ("san: bad header: " ^ header))

@@ -132,3 +132,37 @@ val monolithic_to_string : Bufsize_soc.Monolithic.spec -> string
 val lp_case_of_string : string -> (lp_case, string) result
 val ctmdp_case_of_string : string -> (ctmdp_case, string) result
 val monolithic_of_string : string -> (Bufsize_soc.Monolithic.spec, string) result
+
+(** {1 SAN / Kronecker descriptors} *)
+
+type san_knobs = {
+  max_automata : int;  (** >= 2; instances use 2..[max_automata] *)
+  max_size : int;  (** local states per automaton, >= 2 *)
+  max_extra_local : int;  (** local transitions beyond the cycle *)
+  max_events : int;  (** synchronizing events, possibly 0 *)
+  min_rate : float;
+  max_rate : float;
+}
+
+val default_san_knobs : san_knobs
+
+type san_case = {
+  automata : Bufsize_prob.San.automaton list;
+  events : Bufsize_prob.San.event list;
+}
+(** A SAN as plain data for structural shrinking and textual dumps. *)
+
+val san_case : ?knobs:san_knobs -> Rng.t -> san_case
+(** Random SAN whose every automaton carries a local cycle
+    [s -> s + 1 mod size] with positive rates, so the joint chain is
+    irreducible by construction; events mix routing participants
+    (possibly with self loops) and functional-rate scalings on
+    non-participants.  Joint state spaces stay small enough for the
+    materialized cross-check (< 100 states at default knobs). *)
+
+val san_of_case : san_case -> Bufsize_prob.San.t
+(** @raise Invalid_argument if the case data violates SAN validity
+    (cannot happen for generated or shrunk cases). *)
+
+val san_case_to_string : san_case -> string
+val san_case_of_string : string -> (san_case, string) result

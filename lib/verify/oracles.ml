@@ -886,6 +886,213 @@ let warm_cold =
               });
   }
 
+(* -------------------------------------------------------------- 7. kron *)
+
+(* The Kronecker shuffle SpMV vs the materialized joint generator: on
+   small random SANs the descriptor must agree with the explicit CSR
+   matrix to near machine precision (SpMV, transposed SpMV, diagonal,
+   adjointness) and the Kronecker-side power iteration must land on the
+   same stationary vector as the dense-side GTH solve. *)
+
+module San = Bufsize_prob.San
+module Kronecker = Bufsize_numeric.Kronecker
+module Sparse = Bufsize_numeric.Sparse
+
+let max_abs_diff a b =
+  let d = ref 0. in
+  Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.(i)))) a;
+  !d
+
+let inf_norm v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+(* Deterministic dense probe vector — replayed repros re-run the exact
+   same products without carrying an RNG in the repro file. *)
+let probe n =
+  Array.init n (fun i ->
+      (if i mod 2 = 0 then 1. else -1.) *. (1. +. (float_of_int ((17 * i) mod 29) /. 7.)))
+
+let check_san_case (c : Gen_model.san_case) =
+  match Gen_model.san_of_case c with
+  | exception Invalid_argument msg -> failf "san construction rejected: %s" msg
+  | san ->
+      let desc = San.descriptor san in
+      let n = San.num_states san in
+      let m = Kronecker.materialize desc in
+      let x = probe n in
+      all_of
+        [
+          (fun () ->
+            (* Mixed-radix index codec round-trips over the whole space. *)
+            let bad = ref None in
+            for idx = 0 to n - 1 do
+              let back = San.encode san (San.decode san idx) in
+              if back <> idx && !bad = None then bad := Some (idx, back)
+            done;
+            match !bad with
+            | None -> Pass
+            | Some (idx, back) -> failf "encode/decode round trip: %d -> %d" idx back);
+          (fun () ->
+            (* Generator invariants of the materialized descriptor. *)
+            let worst_row = inf_norm (Sparse.row_sums m) in
+            if worst_row > 1e-9 then failf "generator row sums reach %.3e" worst_row
+            else begin
+              let neg = ref 0. in
+              Sparse.iter m (fun i j v -> if i <> j && v < !neg then neg := v);
+              if !neg < -1e-12 then failf "negative off-diagonal %.3e" !neg else Pass
+            end);
+          (fun () ->
+            let shuffle = Kronecker.mul_vec desc x in
+            let dense = Sparse.mul_vec m x in
+            let diff = max_abs_diff shuffle dense in
+            let tol = 1e-12 *. (1. +. inf_norm dense) in
+            if diff <= tol then Pass
+            else failf "SpMV: shuffle vs materialized differ by %.3e" diff);
+          (fun () ->
+            let shuffle = Kronecker.mul_vec_t desc x in
+            let dense = Sparse.mul_vec_t m x in
+            let diff = max_abs_diff shuffle dense in
+            let tol = 1e-12 *. (1. +. inf_norm dense) in
+            if diff <= tol then Pass
+            else failf "transposed SpMV: shuffle vs materialized differ by %.3e" diff);
+          (fun () ->
+            (* <Ax, y> = <x, A'y> with independent shuffle passes. *)
+            let y = Array.init n (fun i -> Float.cos (float_of_int (i + 1))) in
+            let ax = Kronecker.mul_vec desc x and aty = Kronecker.mul_vec_t desc y in
+            let dot a b =
+              let acc = ref 0. in
+              Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+              !acc
+            in
+            let lhs = dot ax y and rhs = dot x aty in
+            if rel_close 1e-11 lhs rhs then Pass
+            else failf "adjointness: <Ax,y> %.12g vs <x,A'y> %.12g" lhs rhs);
+          (fun () ->
+            let kd = Kronecker.diagonal desc in
+            let md = Array.init n (fun i -> Sparse.get m i i) in
+            let diff = max_abs_diff kd md in
+            if diff <= 1e-12 *. (1. +. inf_norm md) then Pass
+            else failf "diagonal: Kronecker vs materialized differ by %.3e" diff);
+          (fun () ->
+            (* Stationary vector: Kronecker power iteration vs the dense
+               GTH solve on the materialized chain, plus warm re-seeding
+               staying on the fixed point. *)
+            let pi_kron, _, converged = San.stationary_report san in
+            if not converged then failf "Kronecker power iteration did not converge"
+            else begin
+              let pi_dense = Ctmc.stationary (San.to_ctmc san) in
+              let diff = max_abs_diff pi_kron pi_dense in
+              if diff > 1e-8 then
+                failf "stationary: Kronecker vs materialized differ by %.3e" diff
+              else begin
+                let reseeded = San.stationary ~init:pi_kron san in
+                let drift = max_abs_diff reseeded pi_kron in
+                if drift <= 1e-10 then Pass
+                else failf "warm re-seed moved the fixed point by %.3e" drift
+              end
+            end);
+        ]
+
+let shrink_san_case (c : Gen_model.san_case) =
+  let drop_event i =
+    { c with Gen_model.events = List.filteri (fun j _ -> j <> i) c.Gen_model.events }
+  in
+  let drop_events = List.mapi (fun i _ -> drop_event i) c.Gen_model.events in
+  let drop_scalings =
+    List.concat
+      (List.mapi
+         (fun i (e : San.event) ->
+           List.map
+             (fun (a, _) ->
+               {
+                 c with
+                 Gen_model.events =
+                   List.mapi
+                     (fun j ev ->
+                       if j <> i then ev
+                       else
+                         {
+                           ev with
+                           San.scaling =
+                             List.filter (fun (b, _) -> b <> a) ev.San.scaling;
+                         })
+                     c.Gen_model.events;
+               })
+             e.San.scaling)
+         c.Gen_model.events)
+  in
+  let drop_participants =
+    List.concat
+      (List.mapi
+         (fun i (e : San.event) ->
+           if List.length e.San.routing < 2 then []
+           else
+             List.map
+               (fun (a, _) ->
+                 {
+                   c with
+                   Gen_model.events =
+                     List.mapi
+                       (fun j ev ->
+                         if j <> i then ev
+                         else
+                           {
+                             ev with
+                             San.routing =
+                               List.filter (fun (b, _) -> b <> a) ev.San.routing;
+                           })
+                       c.Gen_model.events;
+                 })
+               e.San.routing)
+         c.Gen_model.events)
+  in
+  (* Drop local transitions that are not part of the irreducibility
+     cycle, so shrunk chains keep a unique stationary vector. *)
+  let drop_locals =
+    List.concat
+      (List.mapi
+         (fun i (a : San.automaton) ->
+           List.filteri
+             (fun j _ ->
+               match List.nth a.San.local j with
+               | f, t, _ -> t <> (f + 1) mod a.San.size)
+             (List.mapi (fun j _ -> j) a.San.local)
+           |> List.map (fun j ->
+                  {
+                    c with
+                    Gen_model.automata =
+                      List.mapi
+                        (fun k (b : San.automaton) ->
+                          if k <> i then b
+                          else
+                            {
+                              b with
+                              San.local = List.filteri (fun l _ -> l <> j) b.San.local;
+                            })
+                        c.Gen_model.automata;
+                  }))
+         c.Gen_model.automata)
+  in
+  drop_events @ drop_participants @ drop_scalings @ drop_locals
+
+let rec san_case_to_oracle_case (c : Gen_model.san_case) =
+  {
+    label =
+      Printf.sprintf "san: %d automata, %d events, %d joint states"
+        (List.length c.Gen_model.automata)
+        (List.length c.Gen_model.events)
+        (List.fold_left (fun acc (a : San.automaton) -> acc * a.San.size) 1 c.Gen_model.automata);
+    repro = Gen_model.san_case_to_string c;
+    check = (fun () -> check_san_case c);
+    shrink = (fun () -> List.map san_case_to_oracle_case (shrink_san_case c));
+  }
+
+let kron =
+  {
+    name = "kron";
+    doc = "Kronecker shuffle SpMV and stationary solve vs the materialized generator";
+    generate = (fun ~max_states:_ rng -> san_case_to_oracle_case (Gen_model.san_case rng));
+  }
+
 (* ----------------------------------------------------------- the matrix *)
 
 let all =
@@ -896,6 +1103,7 @@ let all =
     sizing_bounds;
     split_monolithic;
     warm_cold;
+    kron;
     Chaos.oracle;
   ]
 
@@ -922,6 +1130,7 @@ let case_of_repro text =
       Result.map ctmdp_case_to_oracle_case (Gen_model.ctmdp_case_of_string text)
   | Some "split-monolithic" ->
       Result.map monolithic_case_to_oracle_case (Gen_model.monolithic_of_string text)
+  | Some "kron" -> Result.map san_case_to_oracle_case (Gen_model.san_case_of_string text)
   | Some "chaos" -> (
       match (header_value ~prefix:"# fault:" text, header_value ~prefix:"# seed:" text) with
       | None, _ -> Error "chaos repro has no '# fault:' header"

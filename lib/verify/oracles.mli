@@ -15,6 +15,11 @@
     - [split-monolithic]: the split linear solution vs damped Newton and a
       Picard fixed point on the monolithic quadratic closure; exact
       agreement on the decoupled ([cross_fraction = 0]) boundary.
+    - [kron]: random SAN descriptors — Kronecker shuffle SpMV, transposed
+      SpMV, diagonal, and adjointness vs the materialized joint generator
+      to 1e-12, and the Kronecker-side stationary power iteration vs the
+      dense GTH solve to 1e-8 (warm re-seeding must hold the fixed point
+      to 1e-10).
     - [chaos] ({!Chaos.oracle}): injected numeric faults (singular bases,
       degenerate pivots, rate underflow/overflow, reducible chains,
       expired budgets, stiff closures) must surface as structured

@@ -66,6 +66,50 @@ let test_of_triplets_accumulates () =
   Alcotest.(check (float 0.)) "dropped zero" 0. (Sparse.get s 1 0);
   Alcotest.(check int) "row 0 nnz" 2 (Sparse.row_nnz s 0)
 
+(* Random triplet list with forced duplicates (including some that
+   accumulate to exactly zero), plus the dense accumulation reference
+   computed in the same list order — so the comparison is bitwise. *)
+let random_triplets seed =
+  let rng = Rng.create (1 + seed) in
+  let rows = 1 + Rng.int rng 6 and cols = 1 + Rng.int rng 6 in
+  let base =
+    List.init
+      (Rng.int rng 20)
+      (fun _ -> (Rng.int rng rows, Rng.int rng cols, Rng.float_range rng (-3.) 3.))
+  in
+  (* duplicate a prefix verbatim and cancel a few entries exactly *)
+  let dups = List.filteri (fun i _ -> i < 5) base in
+  let cancels = List.filteri (fun i _ -> i mod 3 = 0) base |> List.map (fun (i, j, v) -> (i, j, -.v)) in
+  (rows, cols, base @ dups @ cancels)
+
+let test_of_triplets_accumulation_property () =
+  qcheck "of_triplets accumulates duplicates in list order" seed_arb (fun seed ->
+      let rows, cols, triplets = random_triplets seed in
+      let s = Sparse.of_triplets ~rows ~cols triplets in
+      let dense = Array.make_matrix rows cols 0. in
+      List.iter (fun (i, j, v) -> dense.(i).(j) <- dense.(i).(j) +. v) triplets;
+      let ok = ref true in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          (* bitwise: same accumulation order on both sides, and exact
+             zeros must be dropped from the structure *)
+          if Sparse.get s i j <> dense.(i).(j) then ok := false;
+          if dense.(i).(j) = 0. && Sparse.index s i j <> None then ok := false
+        done
+      done;
+      !ok)
+
+let test_transpose_involution_property () =
+  qcheck "transpose (transpose a) = a structurally" seed_arb (fun seed ->
+      let rows, cols, triplets = random_triplets seed in
+      let s = Sparse.of_triplets ~rows ~cols triplets in
+      let tt = Sparse.transpose (Sparse.transpose s) in
+      tt.Sparse.rows = s.Sparse.rows
+      && tt.Sparse.cols = s.Sparse.cols
+      && tt.Sparse.row_ptr = s.Sparse.row_ptr
+      && tt.Sparse.col_idx = s.Sparse.col_idx
+      && tt.Sparse.values = s.Sparse.values)
+
 let test_scale_and_row_sums () =
   let s = Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.); (0, 1, 2.); (1, 0, -1.) ] in
   let sums = Sparse.row_sums (Sparse.scale 2. s) in
@@ -102,6 +146,34 @@ let test_iterative_stationary_matches_direct () =
             QCheck.Test.fail_report "GTH refused an irreducible chain"
       in
       close 1e-8 it gth && close 1e-8 it lu)
+
+let test_two_state_converges_in_two_sweeps () =
+  (* Lambda = 2 max_exit equals the total rate on a symmetric 2-state
+     chain, so P's second eigenvalue is 0: the first sweep lands exactly
+     on the fixed point and the second only observes delta < tol. *)
+  let c = Ctmc.of_rates 2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  let pi, iters, converged =
+    Ctmc.stationary_iterative_report ~init:[| 0.9; 0.1 |] c
+  in
+  Alcotest.(check bool) "converged" true converged;
+  Alcotest.(check bool) "iterations <= 2" true (iters <= 2);
+  Alcotest.(check bool) "exact fixed point" true (close 1e-12 pi [| 0.5; 0.5 |])
+
+let test_init_seeding_preserves_fixed_point () =
+  qcheck ~count:40 "?init seeding never moves the fixed point" seed_arb (fun seed ->
+      let c = random_ctmc seed in
+      let cold = Ctmc.stationary_iterative c in
+      (* re-seeding with the fixed point itself must stay on it *)
+      let reseeded = Ctmc.stationary_iterative ~init:cold c in
+      (* a perturbed (but valid) seed must converge back to it *)
+      let rng = Rng.create (seed + 77) in
+      let pert =
+        Array.map (fun p -> Float.max 0. (p +. Rng.float_range rng (-0.01) 0.01)) cold
+      in
+      let total = Array.fold_left ( +. ) 0. pert in
+      let pert = Array.map (fun p -> p /. total) pert in
+      let from_pert = Ctmc.stationary_iterative ~init:pert c in
+      close 1e-10 reseeded cold && close 1e-8 from_pert cold)
 
 let test_stationary_dispatch_consistent () =
   (* The auto dispatcher must agree with both explicit routes. *)
@@ -142,12 +214,20 @@ let () =
             test_spmv_t_matches_dense;
           Alcotest.test_case "transpose round-trip (property)" `Quick test_transpose_roundtrip;
           Alcotest.test_case "triplet accumulation" `Quick test_of_triplets_accumulates;
+          Alcotest.test_case "triplet accumulation (property)" `Quick
+            test_of_triplets_accumulation_property;
+          Alcotest.test_case "transpose involution (property)" `Quick
+            test_transpose_involution_property;
           Alcotest.test_case "scale and row sums" `Quick test_scale_and_row_sums;
         ] );
       ( "stationary",
         [
           Alcotest.test_case "iterative vs direct (property)" `Quick
             test_iterative_stationary_matches_direct;
+          Alcotest.test_case "two-state chain converges in two sweeps" `Quick
+            test_two_state_converges_in_two_sweeps;
+          Alcotest.test_case "?init seeding preserves fixed point (property)" `Quick
+            test_init_seeding_preserves_fixed_point;
           Alcotest.test_case "dispatch consistency" `Quick test_stationary_dispatch_consistent;
         ] );
       ( "lowering",
