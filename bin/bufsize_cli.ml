@@ -6,6 +6,7 @@
      simulate    simulate one allocation policy and print loss statistics
      experiment  the paper's before/after/timeout comparison
      kron        exact monolithic solve via the Kronecker/SAN path vs the split
+     topo        mesh/torus NoC sizing with static-vs-DAMQ buffer sharing
      verify      differential oracles over random instances (fuzz harness)
 
    Architectures: fig1 (the paper's sample), netproc (the 17-processor
@@ -289,7 +290,7 @@ let verify_cmd =
   let oracle_arg =
     let doc =
       "Run only this oracle (repeatable). Available: simplex-cross, mdp-gain, sim-analytic, \
-       sizing-bounds, split-monolithic, warm-cold, kron, chaos. Default: all."
+       sizing-bounds, split-monolithic, warm-cold, kron, topo, chaos. Default: all."
     in
     Arg.(value & opt_all string [] & info [ "o"; "oracle" ] ~docv:"NAME" ~doc)
   in
@@ -439,6 +440,119 @@ let kron_cmd =
       $ mu_x_arg $ mu_y_arg $ tol_arg $ max_sweeps_arg $ cold_arg $ trace_arg $ metrics_arg
       $ metrics_json_arg)
 
+(* ----------------------------------------------------------------- topo *)
+
+(* Spec text for a rows x cols NoC grid: one shared-pool router bus per
+   cell, one network-interface processor per router, and a row-major
+   shift-by-one traffic pattern (every NI sends to the next router's NI),
+   which loads every bus and exercises multi-hop XY routes.  Going through
+   the text format on purpose: the command is the end-to-end check that a
+   grid spec parses, routes, splits and sizes. *)
+let grid_spec_text ~kind ~rows ~cols ~mu ~rate =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s noc rows %d cols %d rate %g\n" kind rows cols mu);
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Buffer.add_string buf (Printf.sprintf "shared_buffer noc_r%dc%d\n" r c);
+      Buffer.add_string buf (Printf.sprintf "proc ni_r%dc%d on noc_r%dc%d\n" r c r c)
+    done
+  done;
+  let n = rows * cols in
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    Buffer.add_string buf
+      (Printf.sprintf "flow ni_r%dc%d -> ni_r%dc%d rate %g\n" (i / cols) (i mod cols)
+         (j / cols) (j mod cols) rate)
+  done;
+  Buffer.contents buf
+
+let topo_cmd =
+  let rows_arg =
+    let doc = "Grid rows (ignored with --file)." in
+    Arg.(value & opt int 4 & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let cols_arg =
+    let doc = "Grid columns (ignored with --file)." in
+    Arg.(value & opt int 4 & info [ "cols" ] ~docv:"N" ~doc)
+  in
+  let kind_arg =
+    let doc = "Grid kind: mesh or torus (ignored with --file)." in
+    Arg.(value & opt string "mesh" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let mu_arg =
+    let doc = "Router service rate (ignored with --file)." in
+    Arg.(value & opt float 2.0 & info [ "mu" ] ~docv:"RATE" ~doc)
+  in
+  let rate_arg =
+    let doc = "Per-NI injection rate (ignored with --file)." in
+    Arg.(value & opt float 0.2 & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let sharing_arg =
+    let doc = "Sharing mode for the sizing run: static or damq." in
+    Arg.(value & opt string "damq" & info [ "sharing" ] ~docv:"MODE" ~doc)
+  in
+  let topo_max_states_arg =
+    let doc = "Per-subsystem CTMDP state-space cap." in
+    Arg.(value & opt int 24 & info [ "max-states" ] ~docv:"N" ~doc)
+  in
+  let spec_arg =
+    let doc = "Print the generated grid spec text and exit." in
+    Arg.(value & flag & info [ "print-spec" ] ~doc)
+  in
+  let run file rows cols kind mu rate budget max_states sharing print_spec trace metrics
+      metrics_json =
+    setup_telemetry trace metrics metrics_json;
+    let sharing =
+      match sharing with
+      | "static" -> B.Sizing.Static
+      | "damq" -> B.Sizing.Damq
+      | other ->
+          Format.eprintf "error: unknown sharing mode %S (use static or damq)@." other;
+          exit 1
+    in
+    let text =
+      match file with
+      | Some path -> (
+          match open_in path with
+          | exception Sys_error msg ->
+              Format.eprintf "error: %s@." msg;
+              exit 1
+          | ic ->
+              let len = in_channel_length ic in
+              let s = really_input_string ic len in
+              close_in ic;
+              s)
+      | None ->
+          if kind <> "mesh" && kind <> "torus" then begin
+            Format.eprintf "error: unknown grid kind %S (use mesh or torus)@." kind;
+            exit 1
+          end;
+          grid_spec_text ~kind ~rows ~cols ~mu ~rate
+    in
+    if print_spec then print_string text
+    else
+      match B.Spec_parser.parse text with
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 1
+      | Ok (topo, traffic) ->
+          let config =
+            { (B.Sizing.default_config ~budget) with B.Sizing.max_states; sharing }
+          in
+          let result, report = B.Sizing.compare_sharing config traffic in
+          Format.printf "%a@.@.%a@.@.%a@." B.Topology.pp topo B.Sizing.pp_summary result
+            B.Sizing.pp_sharing_report report
+  in
+  let doc =
+    "Size a mesh/torus NoC with shared router buffers and compare static, DAMQ and separate \
+     buffer organizations."
+  in
+  Cmd.v (Cmd.info "topo" ~doc)
+    Term.(
+      const run $ file_arg $ rows_arg $ cols_arg $ kind_arg $ mu_arg $ rate_arg $ budget_arg
+      $ topo_max_states_arg $ sharing_arg $ spec_arg $ trace_arg $ metrics_arg
+      $ metrics_json_arg)
+
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -474,4 +588,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "bufsize" ~version:"1.0.0" ~doc)
-          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; kron_cmd; dot_cmd; verify_cmd ]))
+          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; kron_cmd; topo_cmd; dot_cmd; verify_cmd ]))

@@ -222,6 +222,215 @@ let expected_occupancy t policy =
 
 let total_levels t = Array.fold_left (fun acc c -> acc + c.levels) 0 t.loaded
 
+module Shared = struct
+  type t = {
+    sh_sub : Splitting.subsystem;
+    sh_all : client_model array;
+    sh_loaded : client_model array;  (* arrival_rate > 0, in client order *)
+    capacity : int;
+    states : int array array;  (* state -> pool occupancy vector, lex order *)
+    sh_model : Ctmdp.t;
+  }
+
+  let state_count ~capacity n =
+    (* C(capacity + n, n), saturating *)
+    let acc = ref 1 in
+    for i = 1 to n do
+      acc := !acc * (capacity + i) / i;
+      if !acc > 1 lsl 40 then acc := 1 lsl 40
+    done;
+    !acc
+
+  let choose_capacity ?(max_states = 256) n =
+    if n < 1 then invalid_arg "Bus_model.Shared.choose_capacity: no clients";
+    let k = ref 1 in
+    while state_count ~capacity:(!k + 1) n <= max_states do
+      incr k
+    done;
+    !k
+
+  let enumerate n capacity =
+    let acc = ref [] in
+    let k = Array.make n 0 in
+    let rec go i remaining =
+      if i = n then acc := Array.copy k :: !acc
+      else
+        for v = 0 to remaining do
+          k.(i) <- v;
+          go (i + 1) (remaining - v)
+        done
+    in
+    go 0 capacity;
+    Array.of_list (List.rev !acc)
+
+  let build ?(weights = fun _ -> 1.) ?static_levels ?(max_states = 10_000) ~capacity sub =
+    if capacity < 1 then invalid_arg "Bus_model.Shared.build: capacity must be >= 1";
+    let client_list = sub.Splitting.clients in
+    let sh_all =
+      Array.of_list
+        (List.map
+           (fun (c, r) -> { client = c; arrival_rate = r; levels = capacity; weight = weights c })
+           client_list)
+    in
+    let sh_loaded =
+      Array.of_list (List.filter (fun c -> c.arrival_rate > 0.) (Array.to_list sh_all))
+    in
+    let n = Array.length sh_loaded in
+    if n = 0 then invalid_arg "Bus_model.Shared.build: subsystem has no loaded client";
+    if state_count ~capacity n > max_states then
+      invalid_arg
+        (Printf.sprintf "Bus_model.Shared.build: %d clients at capacity %d need %d states (cap %d)"
+           n capacity (state_count ~capacity n) max_states);
+    (* Static level vector of the partition to mimic, restricted to loaded
+       clients; its induced admission rule "admit i iff its static queue
+       has room" is added to every state's admission alternatives, which
+       makes the static-partition optimum representable in this model. *)
+    let mimic =
+      match static_levels with
+      | None -> None
+      | Some ls ->
+          if Array.length ls <> List.length client_list then
+            invalid_arg "Bus_model.Shared.build: static_levels length mismatch";
+          let picked = ref [] in
+          List.iteri
+            (fun i (_, r) -> if r > 0. then picked := ls.(i) :: !picked)
+            client_list;
+          Some (Array.of_list (List.rev !picked))
+    in
+    let states = enumerate n capacity in
+    let index = Hashtbl.create (Array.length states * 2) in
+    Array.iteri (fun s k -> Hashtbl.replace index k s) states;
+    let encode k =
+      match Hashtbl.find_opt index k with
+      | Some s -> s
+      | None -> invalid_arg "Bus_model.Shared: occupancy out of range"
+    in
+    let mu = sub.Splitting.service_rate in
+    let full_set = List.init n (fun i -> i) in
+    (* Admission alternatives: admit-all, admit-all-but-one (reserve a slot
+       against one stream), and — when mimicking — the static partition's
+       rule.  Enumerating all 2^n subsets would square the LP for nothing:
+       these already include every undominated single-slot reservation. *)
+    let admissions k =
+      let cands =
+        full_set :: List.map (fun i -> List.filter (fun j -> j <> i) full_set) full_set
+      in
+      let cands =
+        match mimic with
+        | None -> cands
+        | Some ls ->
+            let a = List.filter (fun i -> k.(i) < ls.(i)) full_set in
+            a :: cands
+      in
+      List.sort_uniq compare cands
+    in
+    let num_states = Array.length states in
+    let actions =
+      Array.init num_states (fun s ->
+          let k = states.(s) in
+          let total = Array.fold_left ( + ) 0 k in
+          let extras = [| float_of_int total |] in
+          let serve_bases =
+            List.concat
+              (List.init n (fun j ->
+                   if k.(j) > 0 then begin
+                     let k' = Array.copy k in
+                     k'.(j) <- k.(j) - 1;
+                     [ (Printf.sprintf "serve%d" j, [ (encode k', mu) ]) ]
+                   end
+                   else []))
+          in
+          let bases = if serve_bases = [] then [ ("idle", []) ] else serve_bases in
+          let acts =
+            if total = capacity then
+              (* Pool full: every arrival is lost no matter what. *)
+              let cost =
+                Array.fold_left (fun acc c -> acc +. (c.weight *. c.arrival_rate)) 0. sh_loaded
+              in
+              List.filter_map
+                (fun (label, moves) ->
+                  if moves = [] then None
+                  else Some { Ctmdp.label; transitions = moves; cost; extras })
+                bases
+            else
+              List.concat_map
+                (fun (base_label, moves) ->
+                  List.filter_map
+                    (fun adm ->
+                      let arrivals =
+                        List.map
+                          (fun i ->
+                            let k' = Array.copy k in
+                            k'.(i) <- k.(i) + 1;
+                            (encode k', sh_loaded.(i).arrival_rate))
+                          adm
+                      in
+                      let transitions = moves @ arrivals in
+                      if transitions = [] then None
+                      else begin
+                        let cost =
+                          List.fold_left
+                            (fun acc i ->
+                              if List.mem i adm then acc
+                              else acc +. (sh_loaded.(i).weight *. sh_loaded.(i).arrival_rate))
+                            0. full_set
+                        in
+                        let label =
+                          if adm = full_set then base_label
+                          else
+                            base_label ^ "_adm"
+                            ^ String.concat "" (List.map string_of_int adm)
+                        in
+                        Some { Ctmdp.label; transitions; cost; extras }
+                      end)
+                    (admissions k))
+                bases
+          in
+          Array.of_list acts)
+    in
+    let state_labels =
+      Array.map
+        (fun k -> "(" ^ String.concat "," (Array.to_list (Array.map string_of_int k)) ^ ")")
+        states
+    in
+    let sh_model = Ctmdp.create ~state_labels ~num_extras:1 actions in
+    { sh_sub = sub; sh_all; sh_loaded; capacity; states; sh_model }
+
+  let subsystem t = t.sh_sub
+  let clients t = Array.copy t.sh_all
+  let loaded_clients t = Array.copy t.sh_loaded
+  let ctmdp t = t.sh_model
+  let num_states t = Array.length t.states
+  let capacity t = t.capacity
+  let state t s = Array.copy t.states.(s)
+
+  let pool_distribution t policy =
+    let pi = Policy.stationary t.sh_model policy in
+    let dist = Array.make (t.capacity + 1) 0. in
+    Array.iteri
+      (fun s p ->
+        let total = Array.fold_left ( + ) 0 t.states.(s) in
+        dist.(total) <- dist.(total) +. p)
+      pi;
+    dist
+
+  let expected_total t policy =
+    let dist = pool_distribution t policy in
+    let acc = ref 0. in
+    Array.iteri (fun l p -> acc := !acc +. (float_of_int l *. p)) dist;
+    !acc
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<v>shared bus model %s: %d loaded clients, pool capacity %d, %d states"
+      t.sh_sub.Splitting.bus_name (Array.length t.sh_loaded) t.capacity (num_states t);
+    Array.iter
+      (fun c ->
+        Format.fprintf ppf "@,  client rate=%.3g weight=%.3g" c.arrival_rate c.weight)
+      t.sh_loaded;
+    Format.fprintf ppf "@]"
+end
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>bus model %s: %d loaded clients, %d states" t.sub.Splitting.bus_name
     (Array.length t.loaded) (num_states t);

@@ -76,4 +76,59 @@ val total_levels : t -> int
 (** Sum of level counts over loaded clients (capacity represented by the
     model). *)
 
+(** DAMQ-style shared-pool CTMDP of one subsystem.
+
+    Instead of statically partitioning the bus buffer between clients,
+    all clients draw from one pool of [capacity] levels; state = the
+    occupancy vector [k] with [sum k <= capacity], and {e allocate on
+    arrival} becomes part of the action: each action pairs the serve
+    choice with an admission set (which arrival streams may claim a free
+    slot right now).  Admission alternatives per state are admit-all,
+    admit-all-but-one (reserve one slot against a stream), and — when
+    [static_levels] is given — the static partition's rule "admit [i] iff
+    [k.(i) < levels.(i)]", which makes every static-partition policy
+    representable here and hence the shared optimum never worse than the
+    static one at equal capacity.  Cost rate = weighted rate of rejected
+    arrivals; extra resource 0 = total pool occupancy. *)
+module Shared : sig
+  type t
+
+  val choose_capacity : ?max_states:int -> int -> int
+  (** Largest capacity whose state count [C(capacity + n, n)] for [n]
+      loaded clients stays within [max_states] (default 256); at least
+      1. *)
+
+  val build :
+    ?weights:(Traffic.client -> float) ->
+    ?static_levels:int array ->
+    ?max_states:int ->
+    capacity:int ->
+    Splitting.subsystem ->
+    t
+  (** [static_levels], when given, aligns with the subsystem's full client
+      list (like {!val:build}'s [levels]).  [max_states] (default 10000)
+      is a guard against runaway state spaces.
+      @raise Invalid_argument on bad capacity, mismatched [static_levels],
+      an all-unloaded subsystem, or a state space over the guard. *)
+
+  val subsystem : t -> Splitting.subsystem
+  val clients : t -> client_model array
+  val loaded_clients : t -> client_model array
+  val ctmdp : t -> Bufsize_mdp.Ctmdp.t
+  val num_states : t -> int
+
+  val capacity : t -> int
+
+  val state : t -> int -> int array
+  (** Occupancy vector (over loaded clients) of a state index. *)
+
+  val pool_distribution : t -> Bufsize_mdp.Policy.t -> float array
+  (** Stationary distribution of the total pool occupancy [0..capacity]
+      under a policy. *)
+
+  val expected_total : t -> Bufsize_mdp.Policy.t -> float
+
+  val pp : Format.formatter -> t -> unit
+end
+
 val pp : Format.formatter -> t -> unit

@@ -14,14 +14,18 @@ let header rankdir buf =
   Buffer.add_string buf "  node [fontname=\"Helvetica\"];\n"
 
 (* [label_of] must pre-escape user text (it may embed the DOT line break
-   [\n], which [escape] would double). *)
+   [\n], which [escape] would double).  Buses flagged as shared DAMQ pools
+   render in a warmer fill with a [shared pool] tag. *)
 let emit_buses topo buf label_of =
   Array.iter
     (fun (b : Topology.bus) ->
+      let shared = Topology.shared_buffer topo b.Topology.bus_id in
       Buffer.add_string buf
-        (Printf.sprintf "  %s [shape=box, style=filled, fillcolor=lightblue, label=\"%s\"];\n"
+        (Printf.sprintf "  %s [shape=box, style=filled, fillcolor=%s, label=\"%s%s\"];\n"
            (bus_node b.Topology.bus_id)
-           (label_of b)))
+           (if shared then "lightsalmon" else "lightblue")
+           (label_of b)
+           (if shared then "\\nshared pool" else "")))
     (Topology.buses topo)
 
 let emit_bridges topo buf =
@@ -49,6 +53,50 @@ let topology ?(rankdir = "LR") topo =
            (bus_node p.Topology.home_bus)))
     (Topology.processors topo);
   emit_bridges topo buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let route_colors =
+  [| "crimson"; "royalblue"; "forestgreen"; "darkorange"; "purple"; "teal"; "goldenrod" |]
+
+let with_routes ?(rankdir = "LR") traffic =
+  let topo = Traffic.topology traffic in
+  let buf = Buffer.create 2048 in
+  header rankdir buf;
+  emit_buses topo buf (fun b ->
+      Printf.sprintf "%s\\nmu=%.3g" (escape b.Topology.bus_name) b.Topology.service_rate);
+  Array.iter
+    (fun (p : Topology.processor) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=ellipse, label=\"%s\"];\n" (proc_node p.Topology.proc_id)
+           (escape p.Topology.proc_name));
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [arrowhead=none];\n" (proc_node p.Topology.proc_id)
+           (bus_node p.Topology.home_bus)))
+    (Topology.processors topo);
+  emit_bridges topo buf;
+  (* One dashed overlay chain per flow: source processor, then every bus its
+     requests visit (home bus + one per crossed bridge), then the
+     destination processor.  [constraint=false] keeps the overlay from
+     distorting the base layout. *)
+  Array.iteri
+    (fun i (f : Traffic.flow) ->
+      let color = route_colors.(i mod Array.length route_colors) in
+      let buses = List.map (fun (bus, _) -> bus_node bus) (Traffic.hops traffic f) in
+      let chain = (proc_node f.Traffic.src :: buses) @ [ proc_node f.Traffic.dst ] in
+      let rec emit = function
+        | a :: (b :: _ as rest) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s [color=%s, style=dashed, constraint=false%s];\n" a b
+                 color
+                 (if a = proc_node f.Traffic.src then
+                    Printf.sprintf ", label=\"%.3g/s\"" f.Traffic.rate
+                  else ""));
+            emit rest
+        | _ -> ()
+      in
+      emit chain)
+    (Traffic.flows traffic);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

@@ -4,11 +4,19 @@
     allocation as node annotations) in DOT format, for inspection with
     [dot -Tsvg].  Buses are boxes, processors ellipses, bridges edges
     between buses; bridge buffers inserted by the split appear as small
-    house-shaped nodes on the bus they feed. *)
+    house-shaped nodes on the bus they feed.  Buses marked as shared DAMQ
+    pools ({!Topology.mark_shared}) render with a distinct fill and a
+    [shared pool] tag in every view. *)
 
 val topology : ?rankdir:string -> Topology.t -> string
 (** DOT source for the bare architecture graph ([rankdir] defaults to
     ["LR"]). *)
+
+val with_routes : ?rankdir:string -> Traffic.t -> string
+(** The architecture graph overlaid with one dashed, colored chain per
+    flow tracing its full multi-hop route: source processor, every bus the
+    routed path visits, destination processor.  The first edge of each
+    chain carries the flow's offered rate. *)
 
 val with_allocation : ?rankdir:string -> Topology.t -> Traffic.t -> Buffer_alloc.t -> string
 (** DOT source with per-client buffer sizes (words) in the node labels and

@@ -5,10 +5,12 @@ module Pool = Bufsize_pool.Pool
 module Resilience = Bufsize_resilience.Resilience
 module Obs = Bufsize_obs.Obs
 module Solve_cache = Bufsize_numeric.Solve_cache
+module Birth_death = Bufsize_prob.Birth_death
 
 let m_subsystems = Obs.counter "sizing.subsystems"
 
 type solver = Joint | Separate
+type sharing = Static | Damq
 
 type config = {
   budget : int;
@@ -16,6 +18,7 @@ type config = {
   quantile : float;
   max_states : int;
   solver : solver;
+  sharing : sharing;
   client_weight : Traffic.client -> float;
 }
 
@@ -26,6 +29,7 @@ let default_config ~budget =
     quantile = 0.95;
     max_states = 96;
     solver = Joint;
+    sharing = Static;
     client_weight = (fun _ -> 1.);
   }
 
@@ -110,6 +114,50 @@ let bus_label model =
   Printf.sprintf "bus-%d" (Bus_model.subsystem model).Splitting.bus
 
 let unconstrained_note = "occupancy budget bound not honored: solved unconstrained"
+
+(* State-space guard for shared-pool models: C(K+n, n) grows much faster
+   than the static product, so allow a few times the static cap before
+   giving up on the DAMQ comparison for a bus. *)
+let shared_guard config = Int.max 512 (4 * config.max_states)
+
+(* Re-solve one statically solved subsystem as a DAMQ shared pool of equal
+   capacity (total static levels).  The static partition's admission rule
+   is included as an action alternative, so the shared optimum can never
+   be worse; the pool's time-average occupancy is held to what the static
+   solution achieved (plus numerical slack) so the comparison does not
+   trade buffer space for loss. *)
+let damq_reeval ?(bound_occupancy = true) config (s : subsystem_solution) =
+  let sub = Bus_model.subsystem s.model in
+  let levels =
+    Array.map (fun (c : Bus_model.client_model) -> c.Bus_model.levels) (Bus_model.clients s.model)
+  in
+  let capacity = Bus_model.total_levels s.model in
+  match
+    Bus_model.Shared.build ~weights:config.client_weight ~static_levels:levels
+      ~max_states:(shared_guard config) ~capacity sub
+  with
+  | exception Invalid_argument msg -> Error msg
+  | shared -> (
+      let model = Bus_model.Shared.ctmdp shared in
+      let constrained () =
+        let bound = s.solved.Lp_formulation.extras.(0) in
+        let value = bound +. (1e-6 *. (1. +. Float.abs bound)) in
+        Lp_formulation.solve_diag
+          ~extra_bounds:[| { Lp_formulation.sense = Lp.Le; value } |]
+          model
+      in
+      let first =
+        if bound_occupancy then constrained ()
+        else Lp_formulation.solve_diag model
+      in
+      match first with
+      | Some (Lp_formulation.Optimal d), diag -> Ok (shared, d, diag)
+      | _ when bound_occupancy -> (
+          match Lp_formulation.solve_diag model with
+          | Some (Lp_formulation.Optimal d), diag ->
+              Ok (shared, d, demote unconstrained_note "unconstrained-lp" diag)
+          | _ -> Error "shared-pool LP failed")
+      | _ -> Error "shared-pool LP failed")
 
 let solve_subsystems ?pool config models =
   let total_levels =
@@ -208,9 +256,10 @@ let cache_key config (subsystems : Splitting.subsystem array) =
   let buf = Buffer.create 512 in
   let fstr = Solve_cache.float_repr in
   Buffer.add_string buf
-    (Printf.sprintf "sizing1 budget %d kappa %s q %s states %d solver %s\n" config.budget
-       (fstr config.occupancy_fraction) (fstr config.quantile) config.max_states
-       (match config.solver with Joint -> "joint" | Separate -> "separate"));
+    (Printf.sprintf "sizing2 budget %d kappa %s q %s states %d solver %s sharing %s\n"
+       config.budget (fstr config.occupancy_fraction) (fstr config.quantile) config.max_states
+       (match config.solver with Joint -> "joint" | Separate -> "separate")
+       (match config.sharing with Static -> "static" | Damq -> "damq"));
   Array.iter
     (fun (s : Splitting.subsystem) ->
       Buffer.add_string buf
@@ -344,16 +393,185 @@ let run ?measured_rates ?pool config traffic =
            (label ^ "-occupancy", d))
          solutions)
   in
+  (* Under [Damq], buses marked shared in the topology are re-solved as a
+     shared pool of equal capacity; the allocation stays the static one
+     (its per-client words become the pool the bus draws from at runtime),
+     only the predicted loss reflects the dynamic sharing. *)
+  let damq_health, predicted_loss_rate =
+    match config.sharing with
+    | Static -> ([], payload.c_total_gain)
+    | Damq ->
+        let topo = Traffic.topology traffic in
+        let delta = ref 0. in
+        let health = ref [] in
+        Array.iter
+          (fun s ->
+            let bus = (Bus_model.subsystem s.model).Splitting.bus in
+            if Topology.shared_buffer topo bus then begin
+              let label = bus_label s.model ^ "-damq" in
+              match damq_reeval config s with
+              | Ok (_, d, diag) ->
+                  let g =
+                    Float.min d.Lp_formulation.gain s.solved.Lp_formulation.gain
+                  in
+                  delta := !delta +. (s.solved.Lp_formulation.gain -. g);
+                  health := (label, diag) :: !health
+              | Error msg ->
+                  health :=
+                    ( label,
+                      Resilience.degraded ~solver:label ("kept static partition: " ^ msg) )
+                    :: !health
+            end)
+          solutions;
+        (List.rev !health, payload.c_total_gain -. !delta)
+  in
   {
     config;
     split;
     solutions;
     allocation;
-    predicted_loss_rate = payload.c_total_gain;
+    predicted_loss_rate;
     words_per_level = payload.c_words_per_level;
     budget_bound_active = payload.c_bound_active;
-    health = payload.c_lp_health @ occupancy_health;
+    health = payload.c_lp_health @ damq_health @ occupancy_health;
   }
+
+type sharing_entry = {
+  cmp_bus : Topology.bus_id;
+  cmp_bus_name : string;
+  cmp_clients : int;
+  cmp_capacity : int;
+  static_loss : float;
+  damq_loss : float;
+  separate_loss : float;
+  static_delay : float;
+  damq_delay : float;
+  separate_delay : float;
+}
+
+type sharing_report = {
+  entries : sharing_entry list;
+  skipped : (string * string) list;
+  total_static_loss : float;
+  total_damq_loss : float;
+  total_separate_loss : float;
+}
+
+(* Mean model-levels in system divided by accepted throughput: Little's
+   law on the occupancy abstraction.  Comparable across organizations of
+   the same bus; exact delay in requests when every client weight is 1
+   (then the LP gain is the unweighted loss rate). *)
+let delay_of ~expected ~offered ~loss = expected /. Float.max 1e-12 (offered -. loss)
+
+let compare_sharing ?pool config traffic =
+  let result = run ?pool config traffic in
+  let topo = Traffic.topology traffic in
+  (* Compare the buses marked shared; with none marked, compare them all
+     (the CLI's mesh constructor path marks every router). *)
+  let is_target =
+    match Topology.shared_buses topo with
+    | [] -> fun _ -> true
+    | marked -> fun bus -> List.mem bus marked
+  in
+  let entries = ref [] in
+  let skipped = ref [] in
+  Array.iter
+    (fun (s : subsystem_solution) ->
+      let sub = Bus_model.subsystem s.model in
+      let bus = sub.Splitting.bus in
+      if is_target bus then begin
+        let name = sub.Splitting.bus_name in
+        let loaded = Bus_model.loaded_clients s.model in
+        let mu = sub.Splitting.service_rate in
+        let offered =
+          Array.fold_left (fun acc c -> acc +. c.Bus_model.arrival_rate) 0. loaded
+        in
+        let capacity = Bus_model.total_levels s.model in
+        (* Static partition at its solved levels, unconstrained: the best
+           loss the partition itself allows. *)
+        let static_eval () =
+          match Lp_formulation.solve_diag (Bus_model.ctmdp s.model) with
+          | Some (Lp_formulation.Optimal st), _ ->
+              let occupancy =
+                Bus_model.occupancy_distribution s.model st.Lp_formulation.policy
+              in
+              let expected =
+                Array.fold_left
+                  (fun acc dist ->
+                    let e = ref 0. in
+                    Array.iteri (fun l p -> e := !e +. (float_of_int l *. p)) dist;
+                    acc +. !e)
+                  0. occupancy
+              in
+              Ok (st.Lp_formulation.gain, expected)
+          | _ -> Error "static LP failed"
+        in
+        let damq_eval () =
+          match damq_reeval ~bound_occupancy:false config s with
+          | Ok (shared, d, _) ->
+              Ok
+                ( d.Lp_formulation.gain,
+                  Bus_model.Shared.expected_total shared d.Lp_formulation.policy )
+          | Error msg -> Error msg
+        in
+        match (static_eval (), damq_eval ()) with
+        | Ok (static_loss, static_en), Ok (damq_loss, damq_en) ->
+            (* Decoupled baseline: each client as its own M/M/1/levels
+               queue at full bus rate — no arbitration contention, hence
+               optimistic. *)
+            let separate_loss = ref 0. in
+            let separate_en = ref 0. in
+            Array.iter
+              (fun (c : Bus_model.client_model) ->
+                let lambda = c.Bus_model.arrival_rate and k = c.Bus_model.levels in
+                separate_loss :=
+                  !separate_loss +. Birth_death.Mm1k.loss_rate ~lambda ~mu ~k;
+                separate_en :=
+                  !separate_en +. Birth_death.Mm1k.mean_customers ~lambda ~mu ~k)
+              loaded;
+            entries :=
+              {
+                cmp_bus = bus;
+                cmp_bus_name = name;
+                cmp_clients = Array.length loaded;
+                cmp_capacity = capacity;
+                static_loss;
+                damq_loss = Float.min damq_loss static_loss;
+                separate_loss = !separate_loss;
+                static_delay = delay_of ~expected:static_en ~offered ~loss:static_loss;
+                damq_delay = delay_of ~expected:damq_en ~offered ~loss:damq_loss;
+                separate_delay =
+                  delay_of ~expected:!separate_en ~offered ~loss:!separate_loss;
+              }
+              :: !entries;
+        | Error msg, _ | _, Error msg -> skipped := (name, msg) :: !skipped
+      end)
+    result.solutions;
+  let entries = List.rev !entries in
+  let total f = List.fold_left (fun acc e -> acc +. f e) 0. entries in
+  ( result,
+    {
+      entries;
+      skipped = List.rev !skipped;
+      total_static_loss = total (fun e -> e.static_loss);
+      total_damq_loss = total (fun e -> e.damq_loss);
+      total_separate_loss = total (fun e -> e.separate_loss);
+    } )
+
+let pp_sharing_report ppf r =
+  Format.fprintf ppf "@[<v>sharing comparison: %d bus(es)%s" (List.length r.entries)
+    (if r.skipped = [] then "" else Printf.sprintf ", %d skipped" (List.length r.skipped));
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "@,  %s: %d clients, pool %d levels | loss static %.4g damq %.4g separate %.4g | \
+         delay static %.4g damq %.4g separate %.4g"
+        e.cmp_bus_name e.cmp_clients e.cmp_capacity e.static_loss e.damq_loss e.separate_loss
+        e.static_delay e.damq_delay e.separate_delay)
+    r.entries;
+  List.iter (fun (name, why) -> Format.fprintf ppf "@,  %s: skipped (%s)" name why) r.skipped;
+  Format.fprintf ppf "@,  totals: loss static %.4g damq %.4g separate %.4g@]"
+    r.total_static_loss r.total_damq_loss r.total_separate_loss
 
 let requirements_of_solution r =
   Array.to_list r.solutions |> List.concat_map (fun s -> s.requirements)

@@ -18,12 +18,24 @@ type solver = Joint | Separate
     go"); [Separate] solves per-subsystem LPs with proportionally divided
     budgets (the sequential strawman, kept for the ablation). *)
 
+type sharing = Static | Damq
+(** How buses marked shared ({!Topology.mark_shared} / the spec's
+    [shared_buffer] stanza) are treated.  [Static] — the paper's static
+    partition everywhere.  [Damq] — after the static solve, every shared
+    bus is re-solved as a DAMQ shared pool of equal capacity
+    ({!Bus_model.Shared}) under the occupancy the static solution
+    achieved; the allocation stays the static one (its per-client words
+    form the runtime pool), only [predicted_loss_rate] reflects the
+    dynamic sharing.  Never worse: the static partition's admission rule
+    is one of the pool's actions. *)
+
 type config = {
   budget : int;  (** total buffer words to distribute *)
   occupancy_fraction : float;  (** kappa in (0, 1]: time-average bound *)
   quantile : float;  (** occupancy quantile for requirements, e.g. 0.95 *)
   max_states : int;  (** per-subsystem CTMDP state cap *)
   solver : solver;
+  sharing : sharing;
   client_weight : Traffic.client -> float;
       (** loss-importance weight per client in the CTMDP cost — the
           paper's closing remark ("allowing some losses to be more
@@ -32,7 +44,7 @@ type config = {
 }
 
 val default_config : budget:int -> config
-(** kappa = 0.6, quantile = 0.95, max_states = 96, Joint.  Larger state
+(** kappa = 0.6, quantile = 0.95, max_states = 96, Joint, Static.  Larger state
     caps buy model fidelity at steeply growing joint-LP cost; the
     ABL-LEVELS ablation shows allocations saturating well below 100 states
     per subsystem. *)
@@ -88,6 +100,42 @@ val run :
     rate; overrides must be positive to keep a loaded client loaded.
     @raise Failure if some subsystem LP is unbounded (cannot happen for
     well-formed models) or the unconstrained fallback also fails. *)
+
+type sharing_entry = {
+  cmp_bus : Topology.bus_id;
+  cmp_bus_name : string;
+  cmp_clients : int;  (** loaded clients of the bus *)
+  cmp_capacity : int;  (** pool capacity compared at, in model levels *)
+  static_loss : float;  (** unconstrained LP optimum of the static partition *)
+  damq_loss : float;  (** shared-pool LP optimum at equal capacity *)
+  separate_loss : float;  (** decoupled per-client M/M/1/levels baseline *)
+  static_delay : float;
+  damq_delay : float;
+  separate_delay : float;
+      (** delays are mean model-levels in system over accepted throughput
+          (Little's law); exact when every client weight is 1 *)
+}
+
+type sharing_report = {
+  entries : sharing_entry list;
+  skipped : (string * string) list;
+      (** buses whose shared pool exceeded the state guard or whose LP
+          failed: (bus name, reason) *)
+  total_static_loss : float;
+  total_damq_loss : float;
+  total_separate_loss : float;
+}
+
+val compare_sharing :
+  ?pool:Bufsize_pool.Pool.t -> config -> Traffic.t -> result * sharing_report
+(** {!run}, plus a per-bus comparison of the three buffer organizations —
+    static partition (the paper), DAMQ shared pool of equal capacity, and
+    the decoupled per-client M/M/1 baseline — over the buses marked
+    shared (all buses when none is marked).  [total_damq_loss <=
+    total_static_loss] always: the static partition's admission rule is
+    representable in the shared-pool CTMDP. *)
+
+val pp_sharing_report : Format.formatter -> sharing_report -> unit
 
 val requirements_of_solution : result -> (Topology.bus_id * Traffic.client * float) list
 (** All subsystems' requirements concatenated. *)

@@ -12,6 +12,8 @@ type statement =
   | Bus of string * float
   | Proc of string * string
   | Bridge of string * string * string
+  | Grid of Topology.grid_kind * string * int * int * float
+  | Shared of string
   | Flow of string * string * float
 
 let parse_float ~lineno what s =
@@ -19,6 +21,19 @@ let parse_float ~lineno what s =
   | Some f when f > 0. -> Ok f
   | Some _ -> Error (Printf.sprintf "line %d: %s must be positive, got %s" lineno what s)
   | None -> Error (Printf.sprintf "line %d: malformed %s %S" lineno what s)
+
+let parse_int ~lineno what s =
+  match int_of_string_opt s with
+  | Some i when i > 0 -> Ok i
+  | Some _ -> Error (Printf.sprintf "line %d: %s must be positive, got %s" lineno what s)
+  | None -> Error (Printf.sprintf "line %d: malformed %s %S" lineno what s)
+
+let keywords = [ "bus"; "proc"; "bridge"; "mesh"; "torus"; "shared_buffer"; "flow" ]
+
+let grid_kind_of_keyword = function
+  | "mesh" -> Topology.Mesh
+  | "torus" -> Topology.Torus
+  | kw -> invalid_arg ("not a grid keyword: " ^ kw)
 
 let parse_statement lineno tokens =
   match tokens with
@@ -28,9 +43,21 @@ let parse_statement lineno tokens =
       Result.map (fun r -> Some (Bus (name, r))) (parse_float ~lineno "bus rate" rate)
   | [ "proc"; name; "on"; bus ] -> Ok (Some (Proc (name, bus)))
   | [ "bridge"; name; bus1; bus2 ] -> Ok (Some (Bridge (name, bus1, bus2)))
+  | [ (("mesh" | "torus") as kw); name; "rows"; rows; "cols"; cols ] ->
+      Result.bind (parse_int ~lineno (kw ^ " rows") rows) (fun r ->
+          Result.map
+            (fun c -> Some (Grid (grid_kind_of_keyword kw, name, r, c, 1.0)))
+            (parse_int ~lineno (kw ^ " cols") cols))
+  | [ (("mesh" | "torus") as kw); name; "rows"; rows; "cols"; cols; "rate"; rate ] ->
+      Result.bind (parse_int ~lineno (kw ^ " rows") rows) (fun r ->
+          Result.bind (parse_int ~lineno (kw ^ " cols") cols) (fun c ->
+              Result.map
+                (fun mu -> Some (Grid (grid_kind_of_keyword kw, name, r, c, mu)))
+                (parse_float ~lineno (kw ^ " rate") rate)))
+  | [ "shared_buffer"; bus ] -> Ok (Some (Shared bus))
   | [ "flow"; src; "->"; dst; "rate"; rate ] ->
       Result.map (fun r -> Some (Flow (src, dst, r))) (parse_float ~lineno "flow rate" rate)
-  | keyword :: _ when List.mem keyword [ "bus"; "proc"; "bridge"; "flow" ] ->
+  | keyword :: _ when List.mem keyword keywords ->
       Error
         (Printf.sprintf "line %d: malformed %s statement: %S" lineno keyword
            (String.concat " " tokens))
@@ -55,6 +82,7 @@ let parse text =
       let b = Topology.builder () in
       let buses = Hashtbl.create 8 in
       let procs = Hashtbl.create 8 in
+      let grid_names = Hashtbl.create 4 in
       let flows = ref [] in
       let build () =
         List.iter
@@ -79,6 +107,29 @@ let parse text =
                     try ignore (Topology.add_bridge b ~between:(x, y) name)
                     with Invalid_argument msg ->
                       failwith (Printf.sprintf "line %d: %s" lineno msg)))
+            | Grid (kind, name, rows, cols, rate) ->
+                if Hashtbl.mem grid_names name then
+                  failwith (Printf.sprintf "line %d: duplicate grid %S" lineno name);
+                let cells =
+                  try
+                    match kind with
+                    | Topology.Mesh -> Topology.mesh b ~service_rate:rate ~rows ~cols name
+                    | Topology.Torus -> Topology.torus b ~service_rate:rate ~rows ~cols name
+                  with Invalid_argument msg ->
+                    failwith (Printf.sprintf "line %d: %s" lineno msg)
+                in
+                Hashtbl.add grid_names name ();
+                Array.iteri
+                  (fun r row ->
+                    Array.iteri
+                      (fun c id ->
+                        Hashtbl.add buses (Printf.sprintf "%s_r%dc%d" name r c) id)
+                      row)
+                  cells
+            | Shared bus -> (
+                match Hashtbl.find_opt buses bus with
+                | None -> failwith (Printf.sprintf "line %d: unknown bus %S" lineno bus)
+                | Some bus_id -> Topology.mark_shared b bus_id)
             | Flow (src, dst, rate) -> (
                 match (Hashtbl.find_opt procs src, Hashtbl.find_opt procs dst) with
                 | None, _ -> failwith (Printf.sprintf "line %d: unknown processor %S" lineno src)
@@ -89,7 +140,9 @@ let parse text =
                     flows := { Traffic.src = s; dst = d; rate } :: !flows))
           statements;
         if !flows = [] then failwith "no flows defined: nothing to size";
-        let topo = Topology.finalize b in
+        let topo =
+          try Topology.finalize b with Invalid_argument msg -> failwith msg
+        in
         let traffic =
           try Traffic.create topo (List.rev !flows)
           with Invalid_argument msg -> failwith msg
@@ -112,10 +165,31 @@ let parse_file path =
 
 let to_string topo traffic =
   let buf = Buffer.create 512 in
+  (* Grid members get their stanza, not individual bus/bridge lines; the
+     deterministic member naming makes this lossless. *)
+  let nb = Topology.num_buses topo in
+  let nbr = Topology.num_bridges topo in
+  let in_grid_bus = Array.make nb false in
+  let in_grid_bridge = Array.make (Int.max 1 nbr) false in
+  Array.iter
+    (fun (g : Topology.grid) ->
+      Array.iter (Array.iter (fun id -> in_grid_bus.(id) <- true)) g.Topology.cells;
+      let mark = Array.iter (Array.iter (fun id -> if id >= 0 then in_grid_bridge.(id) <- true)) in
+      mark g.Topology.h_bridges;
+      mark g.Topology.v_bridges)
+    (Topology.grids topo);
+  Array.iter
+    (fun (g : Topology.grid) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s rows %d cols %d rate %g\n"
+           (match g.Topology.grid_kind with Topology.Mesh -> "mesh" | Topology.Torus -> "torus")
+           g.Topology.grid_name g.Topology.rows g.Topology.cols g.Topology.grid_rate))
+    (Topology.grids topo);
   Array.iter
     (fun (b : Topology.bus) ->
-      Buffer.add_string buf
-        (Printf.sprintf "bus %s rate %g\n" b.Topology.bus_name b.Topology.service_rate))
+      if not in_grid_bus.(b.Topology.bus_id) then
+        Buffer.add_string buf
+          (Printf.sprintf "bus %s rate %g\n" b.Topology.bus_name b.Topology.service_rate))
     (Topology.buses topo);
   Array.iter
     (fun (p : Topology.processor) ->
@@ -125,12 +199,18 @@ let to_string topo traffic =
     (Topology.processors topo);
   Array.iter
     (fun (br : Topology.bridge) ->
-      let x, y = br.Topology.endpoints in
-      Buffer.add_string buf
-        (Printf.sprintf "bridge %s %s %s\n" br.Topology.bridge_name
-           (Topology.bus topo x).Topology.bus_name
-           (Topology.bus topo y).Topology.bus_name))
+      if not in_grid_bridge.(br.Topology.bridge_id) then
+        let x, y = br.Topology.endpoints in
+        Buffer.add_string buf
+          (Printf.sprintf "bridge %s %s %s\n" br.Topology.bridge_name
+             (Topology.bus topo x).Topology.bus_name
+             (Topology.bus topo y).Topology.bus_name))
     (Topology.bridges topo);
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "shared_buffer %s\n" (Topology.bus topo id).Topology.bus_name))
+    (Topology.shared_buses topo);
   Array.iter
     (fun (f : Traffic.flow) ->
       Buffer.add_string buf

@@ -10,8 +10,19 @@
     proc   cpu on core             # a processor homed on a bus
     proc   dma on io
     bridge br0 core io             # a bridge between two buses
+    mesh   noc rows 2 cols 3 rate 4.0   # a 2x3 router mesh (cells noc_r0c0 ...)
+    torus  ring rows 1 cols 4      # like mesh, plus wrap-around links
+    shared_buffer noc_r0c1         # DAMQ-style shared pool on that bus
+    proc   ni0 on noc_r0c0         # processors may attach to grid cells
     flow   cpu -> dma rate 1.5     # a Poisson request flow
     v}
+
+    A [mesh]/[torus] stanza declares a whole grid of buses named
+    [<grid>_r<r>c<c>] joined by nearest-neighbour bridges (named
+    [<grid>_h_r<r>c<c>] / [<grid>_v_r<r>c<c>]); the deterministic naming
+    is what keeps {!to_string} lossless.  [shared_buffer] marks a bus as
+    using one dynamically shared buffer pool across its clients instead
+    of the paper's static partition.
 
     Identifiers are non-empty words without whitespace; keywords are
     lowercase.  Errors are reported with their line numbers. *)

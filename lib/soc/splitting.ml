@@ -43,6 +43,29 @@ let split traffic =
   let inserted = List.sort_uniq compare !inserted in
   { subsystems; inserted_buffers = inserted; coupling_points = List.length inserted }
 
+(* Fold every routed flow along its hop sequence: the transit rate of the
+   directed edge (bridge, into_bus) is the sum of the rates of all flows
+   whose path crosses that bridge in that direction.  This is the quantity
+   the split turns into a bridge client, so it must agree with
+   [Traffic.clients_of_bus] — the [topo] verify oracle checks exactly
+   that. *)
+let edge_flows traffic =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Traffic.flow) ->
+      List.iter
+        (fun (_, client) ->
+          match client with
+          | Traffic.Bridge_client { bridge; into_bus } ->
+              let key = (bridge, into_bus) in
+              let prev = Option.value ~default:0. (Hashtbl.find_opt table key) in
+              Hashtbl.replace table key (prev +. f.Traffic.rate)
+          | Traffic.Proc_client _ -> ())
+        (Traffic.hops traffic f))
+    (Traffic.flows traffic);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let is_linear_without_split traffic =
   List.for_all
     (fun (_, c, _) ->

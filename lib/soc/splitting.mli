@@ -31,6 +31,13 @@ val split : Traffic.t -> t
 (** One subsystem per bus that carries any client.  Buses with no
     processors and no routed load are dropped. *)
 
+val edge_flows : Traffic.t -> ((Topology.bridge_id * Topology.bus_id) * float) list
+(** Transit rate of every loaded directed bridge edge, computed by folding
+    each flow along its routed hop sequence; sorted by (bridge, bus).
+    Agrees with the bridge-client rates {!split} derives from
+    {!Traffic.clients_of_bus} — the [topo] verify oracle cross-checks the
+    two computations. *)
+
 val is_linear_without_split : Traffic.t -> bool
 (** True iff no flow crosses a bridge, i.e. the monolithic model is
     already linear and splitting is a no-op. *)

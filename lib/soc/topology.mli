@@ -2,13 +2,15 @@
 
     An architecture is a set of buses, bridges connecting pairs of buses,
     and processors (IP cores) each attached to one bus — the structure of
-    the paper's Figure 1.  Buses are the vertices of the "bus graph" and
-    bridges its edges; requests between processors on different buses are
-    routed along shortest bridge paths.
+    the paper's Figure 1, generalized to arbitrary bridge graphs.  Buses
+    are the vertices of the "bus graph" and bridges its edges; requests
+    between processors on different buses are routed along shortest bridge
+    paths, and along dimension-order (XY) paths inside mesh/torus grids.
 
     Build with the mutable {!builder} API, then {!finalize}; a finalized
     topology is immutable and validated (connected references, no
-    duplicate names, no bridge from a bus to itself). *)
+    duplicate names, no bridge from a bus to itself, connected bus
+    graph). *)
 
 type bus_id = int
 type proc_id = int
@@ -26,6 +28,28 @@ type bridge = {
   endpoints : bus_id * bus_id;
 }
 
+type grid_kind = Mesh | Torus
+
+type grid = {
+  grid_name : string;
+  grid_kind : grid_kind;
+  rows : int;
+  cols : int;
+  grid_rate : float;  (** service rate shared by every cell bus *)
+  cells : bus_id array array;  (** [rows] x [cols], row-major *)
+  h_bridges : bridge_id array array;
+      (** [(r,c)] connects cell [(r,c)] to [(r,(c+1) mod cols)]; [-1] when
+          that link is absent (mesh boundary, or torus wrap on a dimension
+          of length <= 2). *)
+  v_bridges : bridge_id array array;
+      (** [(r,c)] connects cell [(r,c)] to [((r+1) mod rows,c)]; [-1] when
+          absent. *)
+}
+(** A NoC-style router grid registered by {!mesh} or {!torus}.  Member
+    buses are named ["<grid>_r<r>c<c>"] and bridges ["<grid>_h_r<r>c<c>"]
+    / ["<grid>_v_r<r>c<c>"] — deterministic, so specs mentioning a grid
+    stanza round-trip losslessly. *)
+
 type builder
 
 type t
@@ -41,7 +65,25 @@ val add_processor : builder -> bus:bus_id -> string -> proc_id
 val add_bridge : builder -> between:bus_id * bus_id -> string -> bridge_id
 (** @raise Invalid_argument if the endpoints coincide or are unknown. *)
 
+val mesh : builder -> ?service_rate:float -> rows:int -> cols:int -> string -> bus_id array array
+(** Add a [rows] x [cols] mesh of buses joined by nearest-neighbour
+    bridges; returns the cell bus ids (row-major).  Cell buses and link
+    bridges get deterministic derived names (see {!grid}).
+    @raise Invalid_argument on degenerate dimensions (fewer than 2 cells)
+    or nonpositive rate. *)
+
+val torus : builder -> ?service_rate:float -> rows:int -> cols:int -> string -> bus_id array array
+(** Like {!mesh} plus wrap-around links on every dimension of length > 2
+    (length-2 wraps would duplicate existing mesh edges). *)
+
+val mark_shared : builder -> bus_id -> unit
+(** Declare that the buffers of all clients of this bus are drawn from one
+    shared pool (DAMQ-style) rather than statically partitioned.
+    Idempotent. *)
+
 val finalize : builder -> t
+(** @raise Invalid_argument if the bus graph is disconnected; the message
+    lists the components by bus name. *)
 
 val num_buses : t -> int
 val num_processors : t -> int
@@ -55,6 +97,18 @@ val buses : t -> bus array
 val processors : t -> processor array
 val bridges : t -> bridge array
 
+val grids : t -> grid array
+(** Registered grids in declaration order. *)
+
+val grid_cell : t -> bus_id -> (int * int * int) option
+(** [(grid index, row, col)] when the bus is a grid cell. *)
+
+val shared_buffer : t -> bus_id -> bool
+(** Whether the bus was declared shared-pool via {!mark_shared}. *)
+
+val shared_buses : t -> bus_id list
+(** Ids of all shared-pool buses, ascending. *)
+
 val processors_on_bus : t -> bus_id -> processor list
 
 val bridges_of_bus : t -> bus_id -> bridge list
@@ -66,13 +120,18 @@ val find_processor : t -> string -> proc_id
 (** @raise Not_found *)
 
 val route : t -> bus_id -> bus_id -> bridge_id list option
-(** Shortest bridge path between two buses (BFS; [Some []] when equal,
-    [None] when disconnected).  Deterministic tie-breaking by bridge id. *)
+(** Bridge path between two buses ([Some []] when equal, [None] when
+    unreachable — impossible after {!finalize}'s connectivity check).
+    Both endpoints in the same grid: dimension-order (XY) routing, column
+    first then row, torus wrap taking the shorter direction with ties
+    towards increasing index.  Otherwise: BFS shortest path with
+    deterministic tie-breaking by bridge id. *)
 
 val bus_path : t -> bus_id -> bus_id -> bus_id list option
 (** The bus sequence visited by {!route}, including both endpoints. *)
 
 val is_connected : t -> bool
-(** Whether the bus graph is connected (vacuously true with <= 1 bus). *)
+(** Whether the bus graph is connected (always true after {!finalize};
+    vacuously true with <= 1 bus). *)
 
 val pp : Format.formatter -> t -> unit

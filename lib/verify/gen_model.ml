@@ -130,6 +130,95 @@ let arch_text ?knobs rng =
   let topo, traffic = arch ?knobs rng in
   Spec_parser.to_string topo traffic
 
+(* ---------------------------------------------------- grid architectures *)
+
+type topo_knobs = {
+  max_grid_dim : int;
+  max_flows_per_ni : int;
+  grid_min_service : float;
+  grid_max_service : float;
+  grid_min_rate : float;
+  grid_max_rate : float;
+  grid_max_utilization : float;
+}
+
+let default_topo_knobs =
+  {
+    max_grid_dim = 3;
+    max_flows_per_ni = 2;
+    grid_min_service = 2.0;
+    grid_max_service = 6.0;
+    grid_min_rate = 0.05;
+    grid_max_rate = 0.4;
+    grid_max_utilization = 0.85;
+  }
+
+let topo_arch ?(knobs = default_topo_knobs) rng =
+  if knobs.max_grid_dim < 2 then invalid_arg "Gen_model.topo_arch: need dims >= 2";
+  let rows = 2 + Rng.int rng (knobs.max_grid_dim - 1) in
+  let cols = 2 + Rng.int rng (knobs.max_grid_dim - 1) in
+  let kind = if Rng.bool rng then Topology.Mesh else Topology.Torus in
+  let b = Topology.builder () in
+  let service_rate = float_in rng knobs.grid_min_service knobs.grid_max_service in
+  let cells =
+    (match kind with Topology.Mesh -> Topology.mesh | Topology.Torus -> Topology.torus)
+      b ~service_rate ~rows ~cols "g"
+  in
+  let n = rows * cols in
+  (* At least one router draws from a shared pool; the others flip coins,
+     so mixed static/shared instances are common. *)
+  let forced_shared = Rng.int rng n in
+  for i = 0 to n - 1 do
+    if i = forced_shared || Rng.bool rng then
+      Topology.mark_shared b cells.(i / cols).(i mod cols)
+  done;
+  let procs =
+    Array.init n (fun i ->
+        Topology.add_processor b ~bus:cells.(i / cols).(i mod cols)
+          (Printf.sprintf "ni%d" i))
+  in
+  let flows = ref [] in
+  (* Every network interface emits at least one flow, so every cell bus
+     carries a loaded client (Bus_model.build requires one per
+     subsystem). *)
+  Array.iteri
+    (fun i src ->
+      for _ = 1 to 1 + Rng.int rng knobs.max_flows_per_ni do
+        let dst = ref i in
+        while !dst = i do
+          dst := Rng.int rng n
+        done;
+        flows :=
+          {
+            Traffic.src;
+            dst = procs.(!dst);
+            rate = float_in rng knobs.grid_min_rate knobs.grid_max_rate;
+          }
+          :: !flows
+      done)
+    procs;
+  let topo = Topology.finalize b in
+  let flows = List.rev !flows in
+  let traffic = Traffic.create topo flows in
+  (* Transit load concentrates on interior routers; rescale like {!arch}
+     so the busiest bus stays below the utilization knob. *)
+  let max_rho = ref 0. in
+  Array.iter
+    (fun (bus : Topology.bus) ->
+      max_rho := Float.max !max_rho (Traffic.bus_utilization traffic bus.Topology.bus_id))
+    (Topology.buses topo);
+  if !max_rho <= knobs.grid_max_utilization then (topo, traffic)
+  else begin
+    let f = knobs.grid_max_utilization /. !max_rho in
+    let scaled =
+      List.map
+        (fun (fl : Traffic.flow) ->
+          { fl with Traffic.rate = Float.max 0.001 (Float.of_int (int_of_float (fl.Traffic.rate *. f *. 1000.)) /. 1000.) })
+        flows
+    in
+    (topo, Traffic.create topo scaled)
+  end
+
 (* --------------------------------------------------------------- CTMDPs *)
 
 type ctmdp_knobs = {

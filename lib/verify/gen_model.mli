@@ -44,6 +44,30 @@ val arch_text : ?knobs:arch_knobs -> Rng.t -> string
 (** {!arch} rendered through {!Bufsize_soc.Spec_parser.to_string} — the
     round-trippable repro form. *)
 
+(** {1 NoC grid architectures} *)
+
+type topo_knobs = {
+  max_grid_dim : int;  (** >= 2; rows and cols use 2..[max_grid_dim] *)
+  max_flows_per_ni : int;  (** every network interface emits at least one *)
+  grid_min_service : float;
+  grid_max_service : float;
+  grid_min_rate : float;
+  grid_max_rate : float;
+  grid_max_utilization : float;
+      (** flows are rescaled so every router keeps rho below this, transit
+          load included *)
+}
+
+val default_topo_knobs : topo_knobs
+
+val topo_arch :
+  ?knobs:topo_knobs -> Rng.t -> Bufsize_soc.Topology.t * Bufsize_soc.Traffic.t
+(** A random mesh or torus grid with one network-interface processor per
+    cell, a random nonempty subset of routers marked shared-pool
+    ({!Bufsize_soc.Topology.mark_shared}), and random inter-NI flows —
+    the [topo] oracle's instance family.  Round-trips through
+    {!Bufsize_soc.Spec_parser} like {!arch} does. *)
+
 (** {1 Standalone CTMDPs} *)
 
 type ctmdp_knobs = {

@@ -1093,6 +1093,316 @@ let kron =
     generate = (fun ~max_states:_ rng -> san_case_to_oracle_case (Gen_model.san_case rng));
   }
 
+(* --------------------------------------------------------------- 8. topo *)
+
+(* Mesh/torus NoC instances through the whole pipeline: dimension-order
+   route lengths must equal grid distances, the per-edge transit flows
+   folded along routes must agree with the bridge clients the split
+   derives, the shared-pool (DAMQ) optimum must never lose more than the
+   static partition it can mimic at equal capacity, and the discrete-event
+   simulation of the sized allocation must conserve the offered traffic
+   and respond monotonically to extra buffer space. *)
+
+module Bus_model = Bufsize_soc.Bus_model
+
+type topo_case = {
+  topo_text : string;
+  topo_budget : int;
+  topo_max_states : int;
+  topo_sim_seed : int;
+}
+
+let topo_horizon = 800.
+let topo_warmup = 100.
+let topo_replications = 3
+
+let topo_well_formed (c : topo_case) =
+  match Spec_parser.parse c.topo_text with
+  | Error _ -> false
+  | Ok (_, traffic) ->
+      Array.length (Traffic.flows traffic) > 0
+      &&
+      let split = Splitting.split traffic in
+      c.topo_budget >= Splitting.total_clients split
+      && Array.for_all
+           (fun (s : Splitting.subsystem) ->
+             List.exists (fun (_, r) -> r > 0.) s.Splitting.clients)
+           split.Splitting.subsystems
+
+let grid_hop_distance (g : Topology.grid) r1 c1 r2 c2 =
+  let axis len a b =
+    let d = abs (a - b) in
+    if g.Topology.grid_kind = Topology.Torus && len > 2 then Int.min d (len - d) else d
+  in
+  axis g.Topology.cols c1 c2 + axis g.Topology.rows r1 r2
+
+let check_topo_case (c : topo_case) =
+  match Spec_parser.parse c.topo_text with
+  | Error e -> failf "repro text no longer parses: %s" e
+  | Ok (topo, traffic) ->
+      let split = Splitting.split traffic in
+      all_of
+        [
+          (fun () ->
+            (* XY routing: within a grid, the routed hop count must equal
+               the dimension-order distance (manhattan, with torus wrap on
+               dimensions longer than 2). *)
+            let grids = Topology.grids topo in
+            let bad = ref None in
+            Array.iter
+              (fun (fl : Traffic.flow) ->
+                let b1 = (Topology.processor topo fl.Traffic.src).Topology.home_bus in
+                let b2 = (Topology.processor topo fl.Traffic.dst).Topology.home_bus in
+                match (Topology.grid_cell topo b1, Topology.grid_cell topo b2) with
+                | Some (g1, r1, c1), Some (g2, r2, c2) when g1 = g2 ->
+                    let expected = grid_hop_distance grids.(g1) r1 c1 r2 c2 in
+                    let got =
+                      match Topology.route topo b1 b2 with
+                      | Some route -> List.length route
+                      | None -> -1
+                    in
+                    if got <> expected && !bad = None then
+                      bad := Some (fl, expected, got)
+                | _ -> ())
+              (Traffic.flows traffic);
+            match !bad with
+            | None -> Pass
+            | Some (fl, expected, got) ->
+                failf "route of flow %d -> %d has %d hops, dimension-order distance is %d"
+                  fl.Traffic.src fl.Traffic.dst got expected);
+          (fun () ->
+            (* Transit folding: the per-edge flows folded along routed hop
+               sequences must match the bridge clients the split derives
+               from Traffic.clients_of_bus — two independent computations
+               of the same loads. *)
+            let tbl = Hashtbl.create 16 in
+            List.iter
+              (fun (key, r) -> Hashtbl.replace tbl key r)
+              (Splitting.edge_flows traffic);
+            let err = ref None in
+            Array.iter
+              (fun (s : Splitting.subsystem) ->
+                List.iter
+                  (fun (cl, rate) ->
+                    match cl with
+                    | Traffic.Proc_client _ -> ()
+                    | Traffic.Bridge_client { bridge; into_bus } -> (
+                        let key = (bridge, into_bus) in
+                        match Hashtbl.find_opt tbl key with
+                        | Some r when rel_close 1e-9 r rate -> Hashtbl.remove tbl key
+                        | Some r ->
+                            if !err = None then
+                              err :=
+                                Some
+                                  (Printf.sprintf
+                                     "bridge %d into bus %d: split rate %.12g vs folded %.12g"
+                                     bridge into_bus rate r)
+                        | None ->
+                            if !err = None then
+                              err :=
+                                Some
+                                  (Printf.sprintf
+                                     "bridge %d into bus %d carries %.12g but edge_flows has no entry"
+                                     bridge into_bus rate)))
+                  s.Splitting.clients)
+              split.Splitting.subsystems;
+            match !err with
+            | Some e -> failf "%s" e
+            | None ->
+                if Hashtbl.length tbl = 0 then Pass
+                else
+                  failf "%d folded edge flows have no matching bridge client"
+                    (Hashtbl.length tbl));
+          (fun () ->
+            (* Source conservation: proc-client rates across all subsystems
+               must sum to the offered traffic (each flow loads exactly its
+               source processor's buffer). *)
+            let total = Traffic.total_offered traffic in
+            let from_split =
+              Array.fold_left
+                (fun acc (s : Splitting.subsystem) ->
+                  List.fold_left
+                    (fun acc (cl, r) ->
+                      match cl with Traffic.Proc_client _ -> acc +. r | _ -> acc)
+                    acc s.Splitting.clients)
+                0. split.Splitting.subsystems
+            in
+            if rel_close 1e-9 total from_split then Pass
+            else failf "proc-client rates sum to %.12g but flows offer %.12g" from_split total);
+          (fun () ->
+            (* DAMQ never worse: at equal capacity the shared pool's
+               unconstrained LP optimum cannot exceed the static
+               partition's — the static admission rule is one of its
+               actions.  Checked on the raw LP gains, per subsystem. *)
+            all_of
+              (Array.to_list split.Splitting.subsystems
+              |> List.map (fun (sub : Splitting.subsystem) () ->
+                     let nloaded =
+                       List.length (List.filter (fun (_, r) -> r > 0.) sub.Splitting.clients)
+                     in
+                     if nloaded < 2 then Pass (* one client has nothing to share with *)
+                     else begin
+                       let levels =
+                         Bus_model.choose_levels ~max_states:c.topo_max_states
+                           sub.Splitting.clients
+                       in
+                       let model = Bus_model.build ~levels sub in
+                       match Lp_formulation.solve_diag (Bus_model.ctmdp model) with
+                       | Some (Lp_formulation.Optimal st), _ -> (
+                           let guard = Int.max 512 (4 * c.topo_max_states) in
+                           match
+                             Bus_model.Shared.build ~static_levels:levels ~max_states:guard
+                               ~capacity:(Bus_model.total_levels model) sub
+                           with
+                           | exception Invalid_argument _ ->
+                               Pass (* pool state space over the guard *)
+                           | shared -> (
+                               match
+                                 Lp_formulation.solve_diag (Bus_model.Shared.ctmdp shared)
+                               with
+                               | Some (Lp_formulation.Optimal sh), _ ->
+                                   let sg = st.Lp_formulation.gain
+                                   and dg = sh.Lp_formulation.gain in
+                                   let tol = 1e-7 *. (1. +. Float.abs sg) in
+                                   if dg < -.tol then
+                                     failf "bus %s: negative shared-pool loss %.12g"
+                                       sub.Splitting.bus_name dg
+                                   else if dg <= sg +. tol then Pass
+                                   else
+                                     failf
+                                       "bus %s: shared pool loses %.12g, static partition %.12g"
+                                       sub.Splitting.bus_name dg sg
+                               | _ ->
+                                   failf "bus %s: shared-pool LP failed"
+                                     sub.Splitting.bus_name))
+                       | _ -> failf "bus %s: static LP failed" sub.Splitting.bus_name
+                     end)));
+          (fun () ->
+            (* DES cross-check: simulate the sized allocation. *)
+            let config =
+              {
+                (Sizing.default_config ~budget:c.topo_budget) with
+                Sizing.max_states = c.topo_max_states;
+              }
+            in
+            match Sizing.run config traffic with
+            | exception Failure msg -> failf "sizing failed on the grid: %s" msg
+            | result ->
+                let sim allocation =
+                  let spec =
+                    {
+                      (Sim_run.default_spec ~traffic ~allocation) with
+                      Sim_run.horizon = topo_horizon;
+                      warmup = topo_warmup;
+                      seed = c.topo_sim_seed;
+                    }
+                  in
+                  Replicate.run ~replications:topo_replications spec
+                in
+                let agg = sim result.Sizing.allocation in
+                let span = topo_horizon -. topo_warmup in
+                all_of
+                  [
+                    (fun () ->
+                      let lf = Stats.mean agg.Replicate.loss_fraction in
+                      if Float.is_finite lf && lf >= -1e-9 && lf <= 1. +. 1e-9 then Pass
+                      else failf "simulated loss fraction %.6g out of range" lf);
+                    (fun () ->
+                      (* Every source is a Poisson stream: measured offered
+                         rates must match the spec within the replication
+                         CI. *)
+                      let bad = ref None in
+                      Array.iteri
+                        (fun p st ->
+                          let expected = Traffic.offered_by_proc traffic p in
+                          let measured = Stats.mean st /. span in
+                          let lo, hi = Stats.confidence_interval95 st in
+                          let half = (hi -. lo) /. 2. /. span in
+                          let tol = (4. *. half) +. (0.05 *. expected) +. 0.02 in
+                          if Float.abs (measured -. expected) > tol && !bad = None then
+                            bad := Some (p, measured, expected, tol))
+                        agg.Replicate.per_proc_offered;
+                      match !bad with
+                      | None -> Pass
+                      | Some (p, m, e, tol) ->
+                          failf
+                            "proc %d offered %.6g requests per time unit, spec says %.6g (tolerance %.2g)"
+                            p m e tol);
+                    (fun () ->
+                      (* Doubling every buffer must not increase the loss
+                         (beyond replication noise). *)
+                      let doubled =
+                        Buffer_alloc.make
+                          (Array.to_list
+                             (Array.map
+                                (fun (e : Buffer_alloc.entry) ->
+                                  (e.Buffer_alloc.bus, e.Buffer_alloc.client,
+                                   2 * e.Buffer_alloc.words))
+                                result.Sizing.allocation.Buffer_alloc.entries))
+                      in
+                      let agg2 = sim doubled in
+                      let lf1 = Stats.mean agg.Replicate.loss_fraction
+                      and lf2 = Stats.mean agg2.Replicate.loss_fraction in
+                      let lo, hi = Stats.confidence_interval95 agg.Replicate.loss_fraction in
+                      let half = (hi -. lo) /. 2. in
+                      if lf2 <= lf1 +. (4. *. half) +. 0.02 then Pass
+                      else
+                        failf
+                          "doubling all buffers raised the simulated loss fraction from %.6g to %.6g"
+                          lf1 lf2);
+                  ]);
+        ]
+
+let shrink_topo_case (c : topo_case) =
+  let lines = String.split_on_char '\n' c.topo_text in
+  let drop_line i =
+    { c with topo_text = String.concat "\n" (List.filteri (fun j _ -> j <> i) lines) }
+  in
+  let candidates =
+    List.init (List.length lines) drop_line
+    @ (if c.topo_budget > 2 then [ { c with topo_budget = c.topo_budget / 2 } ] else [])
+    @
+    if c.topo_max_states > 8 then [ { c with topo_max_states = c.topo_max_states / 2 } ]
+    else []
+  in
+  List.filter topo_well_formed candidates
+
+let topo_label (c : topo_case) =
+  let head =
+    match String.split_on_char '\n' c.topo_text |> List.filter (fun l -> l <> "" && l.[0] <> '#') with
+    | first :: _ -> first
+    | [] -> "empty"
+  in
+  Printf.sprintf "topo: %s, budget %d" head c.topo_budget
+
+let rec topo_case_to_oracle_case (c : topo_case) =
+  {
+    label = topo_label c;
+    repro =
+      Printf.sprintf "# topo cross-check: budget %d words, max_states %d, sim seed %d\n%s"
+        c.topo_budget c.topo_max_states c.topo_sim_seed c.topo_text;
+    check = (fun () -> check_topo_case c);
+    shrink = (fun () -> List.map topo_case_to_oracle_case (shrink_topo_case c));
+  }
+
+let topo =
+  {
+    name = "topo";
+    doc = "mesh/torus routing, transit folding, DAMQ vs static, and DES conservation";
+    generate =
+      (fun ~max_states rng ->
+        let topology, traffic = Gen_model.topo_arch rng in
+        let nclients = Splitting.total_clients (Splitting.split traffic) in
+        let budget = nclients * (2 + Rng.int rng 3) in
+        topo_case_to_oracle_case
+          {
+            topo_text = Spec_parser.to_string topology traffic;
+            topo_budget = budget;
+            topo_max_states = Int.max 8 (Int.min max_states 24);
+            topo_sim_seed = 1 + Rng.int rng 1_000_000;
+          });
+  }
+
 (* ----------------------------------------------------------- the matrix *)
 
 let all =
@@ -1104,6 +1414,7 @@ let all =
     split_monolithic;
     warm_cold;
     kron;
+    topo;
     Chaos.oracle;
   ]
 
@@ -1176,6 +1487,24 @@ let case_of_repro text =
               match Spec_parser.parse text with
               | Error e -> Error ("sizing-bounds: " ^ e)
               | Ok _ -> Ok (sizing_case_to_oracle_case { text; budget; max_states }))))
+  | Some "topo" -> (
+      match header_value ~prefix:"# topo cross-check:" text with
+      | None -> Error "topo repro has no '# topo cross-check:' header"
+      | Some hdr -> (
+          match
+            Scanf.sscanf_opt hdr "budget %d words, max_states %d, sim seed %d"
+              (fun b m s -> (b, m, s))
+          with
+          | None -> Error ("topo: bad cross-check header: " ^ hdr)
+          | Some (topo_budget, topo_max_states, topo_sim_seed) -> (
+              (* The parser skips '#' lines, so the full repro text is a
+                 valid spec. *)
+              match Spec_parser.parse text with
+              | Error e -> Error ("topo: " ^ e)
+              | Ok _ ->
+                  Ok
+                    (topo_case_to_oracle_case
+                       { topo_text = text; topo_budget; topo_max_states; topo_sim_seed }))))
   | Some "warm-cold" -> (
       match header_value ~prefix:"# warm-cold kind:" text with
       | None -> Error "warm-cold repro has no '# warm-cold kind:' header"

@@ -20,6 +20,12 @@
       to 1e-12, and the Kronecker-side stationary power iteration vs the
       dense GTH solve to 1e-8 (warm re-seeding must hold the fixed point
       to 1e-10).
+    - [topo]: random mesh/torus NoC instances with shared-pool routers —
+      dimension-order route lengths vs grid distances, per-edge transit
+      folding vs the split's bridge clients, the DAMQ shared-pool LP never
+      worse than the static partition at equal capacity, and a replicated
+      DES of the sized allocation conserving offered traffic and
+      responding monotonically to extra buffer space.
     - [chaos] ({!Chaos.oracle}): injected numeric faults (singular bases,
       degenerate pivots, rate underflow/overflow, reducible chains,
       expired budgets, stiff closures) must surface as structured

@@ -12,6 +12,11 @@ let arch = seeded "arch" (fun rng -> Gen_model.arch rng)
 
 let spec_text = seeded "spec_text" (fun rng -> Gen_model.arch_text rng)
 
+let topo_spec_text =
+  seeded "topo_spec_text" (fun rng ->
+      let topo, traffic = Gen_model.topo_arch rng in
+      Bufsize_soc.Spec_parser.to_string topo traffic)
+
 let ctmdp = seeded "ctmdp" (fun rng -> Gen_model.ctmdp rng)
 
 let ctmdp_case = seeded "ctmdp_case" (fun rng -> Gen_model.ctmdp_case rng)

@@ -18,6 +18,11 @@ val arch :
 val spec_text : (int * string) QCheck.arbitrary
 (** {!Bufsize_verify.Gen_model.arch_text}: parseable architecture descriptions. *)
 
+val topo_spec_text : (int * string) QCheck.arbitrary
+(** {!Bufsize_verify.Gen_model.topo_arch} rendered through
+    {!Bufsize_soc.Spec_parser.to_string}: mesh/torus grid specs with
+    [shared_buffer] stanzas. *)
+
 val ctmdp : (int * Bufsize_mdp.Ctmdp.t) QCheck.arbitrary
 
 val ctmdp_case : (int * Bufsize_verify.Gen_model.ctmdp_case) QCheck.arbitrary

@@ -63,13 +63,78 @@ let test_topology_routing () =
   Alcotest.(check bool) "connected" true (Topology.is_connected topo)
 
 let test_topology_disconnected () =
+  (* Finalizing a disconnected bus graph is rejected with a message naming
+     the components. *)
   let b = Topology.builder () in
   let bus0 = Topology.add_bus b "a" in
-  let bus1 = Topology.add_bus b "b" in
+  let _ = Topology.add_bus b "b" in
   let _ = Topology.add_processor b ~bus:bus0 "p" in
+  Alcotest.check_raises "finalize rejects"
+    (Invalid_argument
+       "Topology.finalize: disconnected bus graph: 2 components: [a]; [b] (add bridges to \
+        connect them)")
+    (fun () -> ignore (Topology.finalize b))
+
+let test_topology_mesh () =
+  let b = Topology.builder () in
+  let cells = Topology.mesh b ~service_rate:2.0 ~rows:2 ~cols:3 "m" in
   let topo = Topology.finalize b in
-  Alcotest.(check (option (list int))) "no route" None (Topology.route topo bus0 bus1);
-  Alcotest.(check bool) "disconnected" false (Topology.is_connected topo)
+  Alcotest.(check int) "buses" 6 (Topology.num_buses topo);
+  (* 2x3 mesh: 2*(3-1) horizontal + (2-1)*3 vertical links. *)
+  Alcotest.(check int) "bridges" 7 (Topology.num_bridges topo);
+  Alcotest.(check string) "derived cell name" "m_r1c2"
+    (Topology.bus topo cells.(1).(2)).Topology.bus_name;
+  check_close 1e-12 "cell rate" 2.0 (Topology.bus topo cells.(0).(1)).Topology.service_rate;
+  (match Topology.grid_cell topo cells.(1).(2) with
+  | Some (0, 1, 2) -> ()
+  | _ -> Alcotest.fail "grid_cell lookup");
+  (* XY: column first, then row. *)
+  match Topology.route topo cells.(0).(0) cells.(1).(2) with
+  | Some [ h1; h2; v1 ] ->
+      let name id = (Topology.bridge topo id).Topology.bridge_name in
+      Alcotest.(check string) "first hop east" "m_h_r0c0" (name h1);
+      Alcotest.(check string) "second hop east" "m_h_r0c1" (name h2);
+      Alcotest.(check string) "then south" "m_v_r0c2" (name v1)
+  | Some l -> Alcotest.failf "expected 3 hops, got %d" (List.length l)
+  | None -> Alcotest.fail "unroutable"
+
+let test_topology_torus_wrap () =
+  let b = Topology.builder () in
+  let cells = Topology.torus b ~rows:3 ~cols:4 "t" in
+  let topo = Topology.finalize b in
+  (* Every dimension longer than 2 wraps: 3*4 horizontal + 3*4 vertical. *)
+  Alcotest.(check int) "bridges" 24 (Topology.num_bridges topo);
+  let name id = (Topology.bridge topo id).Topology.bridge_name in
+  (* (0,0) -> (0,3): the wrap link is shorter than walking east. *)
+  (match Topology.route topo cells.(0).(0) cells.(0).(3) with
+  | Some [ br ] -> Alcotest.(check string) "wrap link" "t_h_r0c3" (name br)
+  | Some l -> Alcotest.failf "expected 1 hop, got %d" (List.length l)
+  | None -> Alcotest.fail "unroutable");
+  (* (0,0) -> (0,2): two hops either way; ties go towards increasing
+     index, so the route starts east through c0's link. *)
+  match Topology.route topo cells.(0).(0) cells.(0).(2) with
+  | Some [ b1; _ ] -> Alcotest.(check string) "tie breaks east" "t_h_r0c0" (name b1)
+  | Some l -> Alcotest.failf "expected 2 hops, got %d" (List.length l)
+  | None -> Alcotest.fail "unroutable"
+
+let test_topology_torus_2x2_no_wrap () =
+  (* Wraps on a dimension of length 2 would duplicate the mesh edges. *)
+  let b = Topology.builder () in
+  let _ = Topology.torus b ~rows:2 ~cols:2 "t" in
+  let topo = Topology.finalize b in
+  Alcotest.(check int) "same links as the 2x2 mesh" 4 (Topology.num_bridges topo)
+
+let test_topology_shared_buffer () =
+  let b = Topology.builder () in
+  let bus0 = Topology.add_bus b "x" in
+  let bus1 = Topology.add_bus b "y" in
+  let _ = Topology.add_bridge b ~between:(bus0, bus1) "br" in
+  Topology.mark_shared b bus1;
+  Topology.mark_shared b bus1;
+  let topo = Topology.finalize b in
+  Alcotest.(check bool) "y shared" true (Topology.shared_buffer topo bus1);
+  Alcotest.(check bool) "x static" false (Topology.shared_buffer topo bus0);
+  Alcotest.(check (list int)) "shared list" [ bus1 ] (Topology.shared_buses topo)
 
 let test_topology_shortest_path () =
   (* A triangle plus a long way around: BFS must take the direct bridge. *)
@@ -275,6 +340,64 @@ let test_bus_model_occupancy_distribution () =
     (fun l p -> check_close 1e-9 (Printf.sprintf "marginal %d" l) expected.(l) p)
     marginals.(0)
 
+(* Shared-pool (DAMQ) model: a two-client bus with a shared pool of the
+   same total capacity must never lose more than the static partition —
+   the partition's admission rule is one of the pool's actions. *)
+let shared_two_client_arch () =
+  let b = Topology.builder () in
+  let bus0 = Topology.add_bus b ~service_rate:3.0 "bus" in
+  let p0 = Topology.add_processor b ~bus:bus0 "A" in
+  let p1 = Topology.add_processor b ~bus:bus0 "B" in
+  let p2 = Topology.add_processor b ~bus:bus0 "C" in
+  Topology.mark_shared b bus0;
+  let topo = Topology.finalize b in
+  let traffic =
+    Traffic.create topo
+      [
+        { Traffic.src = p0; dst = p2; rate = 1.4 };
+        { Traffic.src = p1; dst = p2; rate = 0.6 };
+      ]
+  in
+  (Splitting.split traffic).Splitting.subsystems.(0)
+
+let test_shared_model_shape () =
+  let sub = shared_two_client_arch () in
+  let shared = Bus_model.Shared.build ~capacity:3 sub in
+  Alcotest.(check int) "capacity" 3 (Bus_model.Shared.capacity shared);
+  (* Occupancy vectors (k0, k1) with k0 + k1 <= 3 over two loaded
+     clients: C(3 + 2, 2) = 10 states. *)
+  Alcotest.(check int) "states" 10 (Bus_model.Shared.num_states shared);
+  Alcotest.(check int) "loaded clients" 2 (Array.length (Bus_model.Shared.loaded_clients shared));
+  for s = 0 to Bus_model.Shared.num_states shared - 1 do
+    let k = Bus_model.Shared.state shared s in
+    Alcotest.(check bool) "within pool" true (k.(0) + k.(1) <= 3)
+  done
+
+let test_shared_never_worse_than_static () =
+  let sub = shared_two_client_arch () in
+  let levels = Bus_model.choose_levels ~max_states:24 sub.Splitting.clients in
+  let static_model = Bus_model.build ~levels sub in
+  let capacity = Bus_model.total_levels static_model in
+  let shared = Bus_model.Shared.build ~static_levels:levels ~capacity sub in
+  let solve ctmdp =
+    match Bufsize_mdp.Lp_formulation.solve ctmdp with
+    | Bufsize_mdp.Lp_formulation.Optimal s -> s.Bufsize_mdp.Lp_formulation.gain
+    | _ -> Alcotest.fail "LP failed"
+  in
+  let static_loss = solve (Bus_model.ctmdp static_model) in
+  let damq_loss = solve (Bus_model.Shared.ctmdp shared) in
+  Alcotest.(check bool) "damq <= static" true (damq_loss <= static_loss +. 1e-9);
+  Alcotest.(check bool) "nonnegative" true (damq_loss >= -1e-9)
+
+let test_shared_capacity_guard () =
+  let sub = shared_two_client_arch () in
+  (match Bus_model.Shared.build ~capacity:0 sub with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  match Bus_model.Shared.build ~max_states:5 ~capacity:3 sub with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "state guard ignored"
+
 (* ----------------------------------------------------------- allocation *)
 
 let test_alloc_uniform () =
@@ -406,6 +529,23 @@ let test_dot_with_allocation () =
   Alcotest.(check bool) "words annotated" true (contains "words" s);
   Alcotest.(check bool) "bridge buffer node" true (contains "house" s);
   Alcotest.(check bool) "utilization annotated" true (contains "rho=" s)
+
+let test_dot_with_routes () =
+  let b = Topology.builder () in
+  let cells = Topology.mesh b ~rows:2 ~cols:2 "m" in
+  let src = Topology.add_processor b ~bus:cells.(0).(0) "src" in
+  let dst = Topology.add_processor b ~bus:cells.(1).(1) "dst" in
+  Topology.mark_shared b cells.(1).(1);
+  let topo = Topology.finalize b in
+  let traffic = Traffic.create topo [ { Traffic.src; dst; rate = 0.5 } ] in
+  let s = Bufsize_soc.Dot.with_routes traffic in
+  (* The XY route src -> dst visits r0c0 (home), r0c1, r1c1: a 4-edge
+     dashed chain, rate on the first edge, shared fill on the marked bus. *)
+  Alcotest.(check bool) "dashed overlay" true (contains "style=dashed" s);
+  Alcotest.(check bool) "rate labelled" true (contains "label=\"0.5/s\"" s);
+  Alcotest.(check bool) "layout preserved" true (contains "constraint=false" s);
+  Alcotest.(check bool) "shared pool annotated" true (contains "shared pool" s);
+  Alcotest.(check bool) "shared fill" true (contains "lightsalmon" s)
 
 let test_route_length_on_random_chains () =
   (* Property: on a line of n buses, the route from bus 0 to bus k crosses
@@ -621,6 +761,47 @@ let test_spec_parse_file_errors () =
   expect_file_error "duplicate processor" "bus a\nproc p on a\nproc p on a";
   expect_file_error "malformed flow rate" "bus a\nproc p on a\nproc q on a\nflow p -> q rate fast"
 
+let grid_spec =
+  {|
+mesh noc rows 2 cols 2 rate 2.0
+shared_buffer noc_r0c0
+proc a on noc_r0c0
+proc b on noc_r1c1
+flow a -> b rate 0.3
+flow b -> a rate 0.2
+|}
+
+let test_spec_parse_grid () =
+  match Spec_parser.parse grid_spec with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (topo, traffic) ->
+      Alcotest.(check int) "buses" 4 (Topology.num_buses topo);
+      Alcotest.(check int) "bridges" 4 (Topology.num_bridges topo);
+      Alcotest.(check int) "grids" 1 (Array.length (Topology.grids topo));
+      Alcotest.(check bool) "r0c0 shared" true
+        (Topology.shared_buffer topo (Topology.find_bus topo "noc_r0c0"));
+      check_close 1e-9 "cell rate" 2.0
+        (Topology.bus topo (Topology.find_bus topo "noc_r1c1")).Topology.service_rate;
+      Alcotest.(check int) "flows" 2 (Array.length (Traffic.flows traffic));
+      (* The canonical print is a parse fixed point: parse o to_string = id. *)
+      let text = Spec_parser.to_string topo traffic in
+      (match Spec_parser.parse text with
+      | Error e -> Alcotest.failf "round-trip parse: %s" e
+      | Ok (topo2, traffic2) ->
+          Alcotest.(check string) "fixed point" text (Spec_parser.to_string topo2 traffic2))
+
+let test_spec_grid_errors () =
+  (* Malformed grid stanzas report their line numbers. *)
+  expect_error "line 1" "mesh m rows 0 cols 2";
+  expect_error "mesh rows must be positive" "mesh m rows 0 cols 2\nbus a";
+  expect_error "malformed torus cols \"x\"" "bus a\ntorus t rows 2 cols x";
+  expect_error "line 2" "bus a\ntorus t rows 2 cols x";
+  expect_error "malformed mesh statement" "mesh m rows 2";
+  expect_error "malformed shared_buffer statement" "shared_buffer a b";
+  expect_error "line 2: duplicate grid \"m\"" "mesh m rows 2 cols 2\nmesh m rows 2 cols 2";
+  expect_error "line 1: unknown bus \"nowhere\"" "shared_buffer nowhere";
+  expect_error "line 1: mesh rate must be positive" "mesh m rows 2 cols 2 rate -1"
+
 (* Round-trip property over random generated architectures: to_string
    output re-parses to an architecture with identical shape and load. *)
 let test_spec_roundtrip_property () =
@@ -641,6 +822,22 @@ let test_spec_roundtrip_property () =
   QCheck.Test.check_exn
     (QCheck.Test.make ~count:100 ~name:"spec round-trip"
        Bufsize_verify_qcheck.Verify_arbitrary.spec_text prop)
+
+(* Stronger property over grid specs (mesh/torus/shared_buffer stanzas):
+   the canonical print is a literal parse fixed point. *)
+let test_spec_grid_roundtrip_property () =
+  let prop (_seed, text) =
+    match Spec_parser.parse text with
+    | Error e -> QCheck.Test.fail_reportf "generated grid spec does not parse: %s" e
+    | Ok (topo, traffic) ->
+        let printed = Spec_parser.to_string topo traffic in
+        if printed <> text then
+          QCheck.Test.fail_reportf "print is not a fixed point:\n%s\nvs\n%s" printed text
+        else true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"grid spec round-trip"
+       Bufsize_verify_qcheck.Verify_arbitrary.topo_spec_text prop)
 
 (* --------------------------------------------------------------- sizing *)
 
@@ -716,6 +913,11 @@ let () =
           Alcotest.test_case "routing" `Quick test_topology_routing;
           Alcotest.test_case "disconnected" `Quick test_topology_disconnected;
           Alcotest.test_case "shortest path" `Quick test_topology_shortest_path;
+          Alcotest.test_case "mesh constructor" `Quick test_topology_mesh;
+          Alcotest.test_case "torus wrap routing" `Quick test_topology_torus_wrap;
+          Alcotest.test_case "torus 2x2 degenerates to mesh" `Quick
+            test_topology_torus_2x2_no_wrap;
+          Alcotest.test_case "shared buffer marks" `Quick test_topology_shared_buffer;
         ] );
       ( "traffic",
         [
@@ -737,6 +939,10 @@ let () =
           Alcotest.test_case "single client = MM1K" `Quick test_bus_model_single_client_is_mm1k;
           Alcotest.test_case "encode/decode roundtrip" `Quick test_bus_model_encode_decode;
           Alcotest.test_case "occupancy distribution" `Quick test_bus_model_occupancy_distribution;
+          Alcotest.test_case "shared model shape" `Quick test_shared_model_shape;
+          Alcotest.test_case "shared never worse than static" `Quick
+            test_shared_never_worse_than_static;
+          Alcotest.test_case "shared capacity guard" `Quick test_shared_capacity_guard;
         ] );
       ( "allocation",
         [
@@ -772,11 +978,16 @@ let () =
           Alcotest.test_case "missing file" `Quick test_spec_parse_file_missing;
           Alcotest.test_case "file error paths" `Quick test_spec_parse_file_errors;
           Alcotest.test_case "roundtrip (property)" `Quick test_spec_roundtrip_property;
+          Alcotest.test_case "parse grid stanzas" `Quick test_spec_parse_grid;
+          Alcotest.test_case "grid stanza errors" `Quick test_spec_grid_errors;
+          Alcotest.test_case "grid roundtrip (property)" `Quick
+            test_spec_grid_roundtrip_property;
         ] );
       ( "dot",
         [
           Alcotest.test_case "topology render" `Quick test_dot_topology;
           Alcotest.test_case "allocation render" `Quick test_dot_with_allocation;
+          Alcotest.test_case "route overlay render" `Quick test_dot_with_routes;
         ] );
       ( "sizing",
         [
