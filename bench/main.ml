@@ -26,6 +26,10 @@
                          (BUFSIZE_KRON_SWEEP overrides), with a dense
                          stationary cross-check on the small instances;
                          writes BENCH_kron.json
+     serve               daemon round-trip latency: one cold netproc solve
+                         vs a warm concurrent-client sweep over the sizing
+                         service, with a bitwise reply cross-check; writes
+                         BENCH_serve.json
 
    With no argument the paper artifacts (fig1 nonlinear fig3 table1) run in
    order.  `all` adds the ablations, parallel, perf, and sparse.  Runs that
@@ -1252,9 +1256,155 @@ let run_topo () =
      the decoupled per-client M/M/1 baseline understates loss by ignoring bus@.\
      arbitration contention.@."
 
+(* ---------------------------------------------------------------- SERVE *)
+
+(* Daemon round-trip latency.  One cold request against a fresh server
+   (solve caches cleared, so the solve dominates), then a warm sweep from
+   concurrent client domains hitting the same problem — the exact-key
+   solve cache turns those into near-pure protocol overhead, so warm p50
+   should sit far below the cold latency (the acceptance bar in the CI
+   smoke job is 0.2x).  Every reply is checked bitwise against the first:
+   concurrency must never change an answer. *)
+
+type serve_summary = {
+  se_arch : string;
+  se_budget : int;
+  se_cold_ms : float;
+  se_clients : int;
+  se_requests : int;
+  se_warm_p50_ms : float;
+  se_warm_p99_ms : float;
+  se_throughput_rps : float;
+  se_bitwise : bool;
+}
+
+let serve_summary : serve_summary option ref = ref None
+
+let write_serve_json path =
+  match !serve_summary with
+  | None -> ()
+  | Some s ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"bufsize-bench-serve-v1\",\n\
+        \  \"arch\": %S,\n\
+        \  \"budget\": %d,\n\
+        \  \"cold_ms\": %.6f,\n\
+        \  \"clients\": %d,\n\
+        \  \"requests\": %d,\n\
+        \  \"warm_p50_ms\": %.6f,\n\
+        \  \"warm_p99_ms\": %.6f,\n\
+        \  \"throughput_rps\": %.1f,\n\
+        \  \"warm_p50_over_cold\": %.6f,\n\
+        \  \"bitwise_identical\": %b\n\
+         }\n"
+        s.se_arch s.se_budget s.se_cold_ms s.se_clients s.se_requests s.se_warm_p50_ms
+        s.se_warm_p99_ms s.se_throughput_rps
+        (s.se_warm_p50_ms /. Float.max 1e-9 s.se_cold_ms)
+        s.se_bitwise;
+      close_out oc;
+      Format.printf "@.(json written to %s)@." path
+
+let run_serve () =
+  section "SERVE: daemon round-trip latency, cold solve vs warm concurrent clients";
+  let arch = "netproc" and budget = 160 in
+  let clients = 4 and per_client = 25 in
+  let cfg =
+    {
+      B.Serve.socket_path = B.Serve.temp_socket_path ();
+      queue_depth = 64;
+      workers = 4;
+      default_deadline_ms = 0.;
+      max_request_bytes = 1 lsl 20;
+    }
+  in
+  let request ~id =
+    B.Json.Obj
+      [
+        ("id", B.Json.Num (float_of_int id));
+        ("op", B.Json.Str "size");
+        ("arch", B.Json.Str arch);
+        ("budget", B.Json.Num (float_of_int budget));
+      ]
+  in
+  let result_of reply = B.Json.encode (B.Json.member_exn "result" reply) in
+  let server = B.Serve.start ~config:cfg () in
+  Fun.protect
+    ~finally:(fun () -> B.Serve.stop server)
+    (fun () ->
+      let socket = cfg.B.Serve.socket_path in
+      B.Numeric.Solve_cache.clear_all ();
+      let t0 = Unix.gettimeofday () in
+      let cold_reply =
+        match B.Serve.request ~socket (request ~id:0) with
+        | Ok r -> r
+        | Error e -> failwith ("serve bench: cold request failed: " ^ e)
+      in
+      let cold_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+      let expected = result_of cold_reply in
+      let sweep_t0 = Unix.gettimeofday () in
+      let domains =
+        Array.init clients (fun c ->
+            Domain.spawn (fun () ->
+                Array.init per_client (fun i ->
+                    let t0 = Unix.gettimeofday () in
+                    let reply =
+                      match B.Serve.request ~socket (request ~id:((100 * c) + i)) with
+                      | Ok r -> r
+                      | Error e -> failwith ("serve bench: warm request failed: " ^ e)
+                    in
+                    (1000. *. (Unix.gettimeofday () -. t0), result_of reply = expected))))
+      in
+      let per_domain = Array.map Domain.join domains in
+      let sweep_s = Unix.gettimeofday () -. sweep_t0 in
+      let samples = Array.concat (Array.to_list per_domain) in
+      let lat = Array.map fst samples in
+      Array.sort compare lat;
+      let pct p =
+        let n = Array.length lat in
+        lat.(Int.min (n - 1) (int_of_float (p *. float_of_int n)))
+      in
+      let bitwise = Array.for_all snd samples in
+      let n = Array.length samples in
+      let s =
+        {
+          se_arch = arch;
+          se_budget = budget;
+          se_cold_ms = cold_ms;
+          se_clients = clients;
+          se_requests = n;
+          se_warm_p50_ms = pct 0.5;
+          se_warm_p99_ms = pct 0.99;
+          se_throughput_rps = float_of_int n /. Float.max 1e-9 sweep_s;
+          se_bitwise = bitwise;
+        }
+      in
+      serve_summary := Some s;
+      record "serve:cold-request" (cold_ms /. 1000.);
+      record "serve:warm-sweep" sweep_s;
+      Format.printf "  cold single request     %10.2f ms  (%s, budget %d)@." cold_ms arch budget;
+      Format.printf "  warm p50 / p99          %10.3f ms / %.3f ms  (%d clients x %d requests)@."
+        s.se_warm_p50_ms s.se_warm_p99_ms clients per_client;
+      Format.printf "  throughput              %10.1f requests/s@." s.se_throughput_rps;
+      Format.printf "  warm p50 / cold         %10.4f  (bar: <= 0.2)@."
+        (s.se_warm_p50_ms /. Float.max 1e-9 cold_ms);
+      Format.printf "  bitwise identical       %10b@." bitwise;
+      if not bitwise then failwith "serve bench: a concurrent reply diverged from the cold reply")
+
 (* ----------------------------------------------------------------- main *)
 
+(* SIGINT/SIGTERM turn into exit so the at_exit telemetry exporters
+   (BUFSIZE_TRACE / metrics) still flush when a long sweep is cut short. *)
+let install_exit_on_signals () =
+  List.iter
+    (fun signum ->
+      try Sys.set_signal signum (Sys.Signal_handle (fun s -> Stdlib.exit (128 + s)))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 let () =
+  install_exit_on_signals ();
   B.Obs.init_from_env ();
   let artifacts = [ "fig1"; "nonlinear"; "fig3"; "table1" ] in
   let ablations =
@@ -1271,6 +1421,7 @@ let () =
       "warmstart";
       "kron";
       "topo";
+      "serve";
     ]
   in
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
@@ -1301,6 +1452,7 @@ let () =
       | "warmstart" -> run_warmstart ()
       | "kron" -> run_kron ()
       | "topo" -> run_topo ()
+      | "serve" -> run_serve ()
       | other ->
           known := false;
           Format.printf "unknown artifact %S; known: %s@." other
@@ -1313,4 +1465,5 @@ let () =
   if List.mem "obs" selected then write_obs_json "BENCH_obs.json";
   if List.mem "warmstart" selected then write_warmstart_json "BENCH_warmstart.json";
   if List.mem "kron" selected then write_kron_json "BENCH_kron.json";
-  if List.mem "topo" selected then write_topo_json "BENCH_topo.json"
+  if List.mem "topo" selected then write_topo_json "BENCH_topo.json";
+  if List.mem "serve" selected then write_serve_json "BENCH_serve.json"

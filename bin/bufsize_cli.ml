@@ -8,6 +8,8 @@
      kron        exact monolithic solve via the Kronecker/SAN path vs the split
      topo        mesh/torus NoC sizing with static-vs-DAMQ buffer sharing
      verify      differential oracles over random instances (fuzz harness)
+     serve       long-running sizing daemon on a Unix socket (NDJSON)
+     request     one request to a running daemon, with retry/backoff
 
    Architectures: fig1 (the paper's sample), netproc (the 17-processor
    evaluation platform), small (a fast two-bus demo). *)
@@ -135,9 +137,22 @@ let metrics_json_arg =
   let doc = "Collect metrics and write them as a JSON object to $(docv) ($(b,-) = stdout)." in
   Arg.(value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
+(* A long-running subcommand killed with SIGINT/SIGTERM would otherwise
+   die without running [at_exit] — losing the trace/metrics files the
+   user asked for.  Converting the signal into [exit] routes it through
+   the exporters ([serve] overrides these with its own drain-first
+   handlers). *)
+let install_exit_on_signals () =
+  List.iter
+    (fun signum ->
+      try Sys.set_signal signum (Sys.Signal_handle (fun s -> Stdlib.exit (128 + s)))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 (* Exporters run from [at_exit] so they fire even on the [exit 1] paths
    (e.g. verify failures), matching the BUFSIZE_TRACE env-var behaviour. *)
 let setup_telemetry trace metrics metrics_json =
+  install_exit_on_signals ();
   if trace <> None then B.Obs.enable_spans ();
   if trace <> None || metrics || metrics_json <> None then B.Obs.enable_metrics ();
   if trace <> None || metrics || metrics_json <> None then
@@ -176,7 +191,15 @@ let size_cmd =
     let doc = "Print the solver health report as JSON (implies machine-readable output only for the report)." in
     Arg.(value & flag & info [ "health-json" ] ~doc)
   in
-  let run arch file budget max_states weights health health_json trace metrics metrics_json =
+  let json_arg =
+    let doc =
+      "Print the allocation as a single JSON object and exit — byte-identical to the \"result\" \
+       field of the daemon's $(b,size) reply (the same serializer renders both)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run arch file budget max_states weights health health_json json trace metrics metrics_json
+      =
     setup_telemetry trace metrics metrics_json;
     let topo, traffic = load_arch arch file in
     let config =
@@ -187,6 +210,10 @@ let size_cmd =
       }
     in
     let r = B.Sizing.run config traffic in
+    if json then begin
+      print_endline (B.Json.encode (B.Serve.sizing_core_json traffic r));
+      exit 0
+    end;
     Format.printf "%a@.@.%a@.@." B.Sizing.pp_summary r
       (fun ppf -> B.Buffer_alloc.pp topo ppf)
       r.B.Sizing.allocation;
@@ -215,7 +242,7 @@ let size_cmd =
   Cmd.v (Cmd.info "size" ~doc)
     Term.(
       const run $ arch_arg $ file_arg $ budget_arg $ max_states_arg $ weights_arg $ health_arg
-      $ health_json_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ health_json_arg $ json_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------- simulate *)
 
@@ -290,7 +317,7 @@ let verify_cmd =
   let oracle_arg =
     let doc =
       "Run only this oracle (repeatable). Available: simplex-cross, mdp-gain, sim-analytic, \
-       sizing-bounds, split-monolithic, warm-cold, kron, topo, chaos. Default: all."
+       sizing-bounds, split-monolithic, warm-cold, kron, topo, chaos, serve. Default: all."
     in
     Arg.(value & opt_all string [] & info [ "o"; "oracle" ] ~docv:"NAME" ~doc)
   in
@@ -553,6 +580,148 @@ let topo_cmd =
       $ topo_max_states_arg $ sharing_arg $ spec_arg $ trace_arg $ metrics_arg
       $ metrics_json_arg)
 
+(* ---------------------------------------------------------------- serve *)
+
+let socket_arg =
+  let doc = "Unix socket path (default: $(b,BUFSIZE_SERVE_SOCKET) or <tmpdir>/bufsize.sock)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let queue_arg =
+    let doc = "Bounded request-queue depth; a full queue rejects with a typed overloaded error." in
+    Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-request deadline in ms for requests without deadline_ms (0 = none)." in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_request_arg =
+    let doc = "Longest accepted request line in bytes." in
+    Arg.(value & opt (some int) None & info [ "max-request" ] ~docv:"BYTES" ~doc)
+  in
+  let run socket queue workers deadline max_request trace metrics metrics_json =
+    setup_telemetry trace metrics metrics_json;
+    let base = B.Serve.config_of_env () in
+    let config =
+      {
+        B.Serve.socket_path = Option.value ~default:base.B.Serve.socket_path socket;
+        queue_depth = Option.value ~default:base.B.Serve.queue_depth queue;
+        workers = Option.value ~default:base.B.Serve.workers workers;
+        default_deadline_ms = Option.value ~default:base.B.Serve.default_deadline_ms deadline;
+        max_request_bytes = Option.value ~default:base.B.Serve.max_request_bytes max_request;
+      }
+    in
+    let server = B.Serve.start ~config () in
+    Format.eprintf "bufsize serve: listening on %s (%d workers, queue %d)@."
+      config.B.Serve.socket_path config.B.Serve.workers config.B.Serve.queue_depth;
+    (* SIGTERM/SIGINT mean drain, not die: finish in-flight requests,
+       write their replies, unlink the socket, then exit 0 so at_exit
+       still flushes the telemetry exporters. *)
+    let stop_requested = Atomic.make false in
+    List.iter
+      (fun signum ->
+        Sys.set_signal signum (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)))
+      [ Sys.sigint; Sys.sigterm ];
+    while not (Atomic.get stop_requested) do
+      (try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ())
+    done;
+    Format.eprintf "bufsize serve: draining and shutting down@.";
+    B.Serve.stop server;
+    exit 0
+  in
+  let doc = "Run the sizing daemon: newline-delimited JSON over a Unix socket." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ queue_arg $ workers_arg $ deadline_arg $ max_request_arg
+      $ trace_arg $ metrics_arg $ metrics_json_arg)
+
+let request_cmd =
+  let op_arg =
+    let doc = "Operation: ping, size, simulate, kron, verify, ..." in
+    Arg.(value & opt string "size" & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let raw_arg =
+    let doc = "Send this JSON object verbatim instead of building one from the flags." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"JSON" ~doc)
+  in
+  let id_arg =
+    let doc = "Request id (echoed by the daemon)." in
+    Arg.(value & opt int 1 & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in ms (<= 0 = already expired; solver cut off server-side)." in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let attempts_arg =
+    let doc = "Total tries under connection failure or overloaded rejection." in
+    Arg.(value & opt int 6 & info [ "attempts" ] ~docv:"N" ~doc)
+  in
+  let run socket raw op arch file budget max_states id deadline attempts seed =
+    install_exit_on_signals ();
+    let socket =
+      match socket with
+      | Some s -> s
+      | None -> (B.Serve.config_of_env ()).B.Serve.socket_path
+    in
+    let req =
+      match raw with
+      | Some text -> (
+          match B.Json.parse text with
+          | Ok (B.Json.Obj _ as v) -> v
+          | Ok _ ->
+              Format.eprintf "error: the request must be a JSON object@.";
+              exit 2
+          | Error e ->
+              Format.eprintf "error: bad request JSON: %s@." e;
+              exit 2)
+      | None ->
+          B.Json.Obj
+            ([
+               ("id", B.Json.Num (float_of_int id));
+               ("op", B.Json.Str op);
+             ]
+            @ (match file with
+              | Some path -> (
+                  match In_channel.with_open_text path In_channel.input_all with
+                  | text -> [ ("spec", B.Json.Str text) ]
+                  | exception Sys_error msg ->
+                      Format.eprintf "error: %s@." msg;
+                      exit 2)
+              | None -> if op = "size" || op = "simulate" then [ ("arch", B.Json.Str arch) ] else [])
+            @ [
+                ("budget", B.Json.Num (float_of_int budget));
+                ("max_states", B.Json.Num (float_of_int max_states));
+              ]
+            @ match deadline with None -> [] | Some ms -> [ ("deadline_ms", B.Json.Num ms) ])
+    in
+    match B.Serve.request_with_retry ~attempts ?seed ~socket req with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 2
+    | Ok reply -> (
+        print_endline (B.Json.encode reply);
+        match B.Json.mem_string "status" reply with
+        | Some ("ok" | "degraded") -> exit 0
+        | Some _ | None -> exit 1)
+  in
+  let seed_opt_arg =
+    let doc = "Seed for deterministic retry jitter." in
+    Arg.(value & opt (some int) None & info [ "retry-seed" ] ~docv:"SEED" ~doc)
+  in
+  let doc =
+    "Send one request to a running daemon and print the reply; retries with jittered \
+     exponential backoff (honoring the server's retry_after_ms hint) on connection failure and \
+     overloaded rejections."
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(
+      const run $ socket_arg $ raw_arg $ op_arg $ arch_arg $ file_arg $ budget_arg
+      $ max_states_arg $ id_arg $ deadline_arg $ attempts_arg $ seed_opt_arg)
+
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -588,4 +757,15 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "bufsize" ~version:"1.0.0" ~doc)
-          [ info_cmd; size_cmd; simulate_cmd; experiment_cmd; kron_cmd; topo_cmd; dot_cmd; verify_cmd ]))
+          [
+            info_cmd;
+            size_cmd;
+            simulate_cmd;
+            experiment_cmd;
+            kron_cmd;
+            topo_cmd;
+            dot_cmd;
+            verify_cmd;
+            serve_cmd;
+            request_cmd;
+          ]))

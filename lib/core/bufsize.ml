@@ -1,6 +1,8 @@
 module Obs = Bufsize_obs.Obs
 module Pool = Bufsize_pool.Pool
 module Resilience = Bufsize_resilience.Resilience
+module Json = Bufsize_json.Json
+module Serve = Bufsize_serve.Serve
 module Numeric = Bufsize_numeric
 module Prob = Bufsize_prob
 module Mdp = Bufsize_mdp

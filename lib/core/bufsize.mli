@@ -37,6 +37,15 @@ module Resilience = Bufsize_resilience.Resilience
     budgets ([BUFSIZE_SOLVE_BUDGET_MS]) shared by every numeric entry
     point; {!Sizing.result.health} aggregates them per subsystem. *)
 
+module Json = Bufsize_json.Json
+(** Strict JSON parser/encoder shared by the daemon protocol, the
+    telemetry exporters' self-checks, and [size --json]. *)
+
+module Serve = Bufsize_serve.Serve
+(** The sizing daemon ([bufsize serve] / [bufsize request]): a
+    Unix-domain-socket NDJSON server with admission control, per-request
+    deadlines, crash isolation, and graceful shutdown. *)
+
 module Numeric = Bufsize_numeric
 module Prob = Bufsize_prob
 module Mdp = Bufsize_mdp

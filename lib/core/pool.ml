@@ -175,9 +175,19 @@ let run_items ?chunk pool f n =
          context here and restoring it around each item parents them
          correctly (and costs nothing when tracing is off). *)
       let ctx = Bufsize_obs.Obs.current_context () in
+      (* Likewise for the ambient solve deadline: it is domain-local, so a
+         worker domain would otherwise run the caller's items with no
+         deadline at all and a budget-bounded solve could overrun by
+         exactly the parallel fraction. *)
+      let ambient = Bufsize_resilience.Resilience.ambient_budget () in
+      let with_ambient g =
+        match ambient with
+        | None -> g ()
+        | Some b -> Bufsize_resilience.Resilience.with_ambient_budget b g
+      in
       let guarded i =
         if Atomic.get error = None then
-          try Bufsize_obs.Obs.with_context ctx (fun () -> f i)
+          try with_ambient (fun () -> Bufsize_obs.Obs.with_context ctx (fun () -> f i))
           with e -> ignore (Atomic.compare_and_set error None (Some e))
       in
       let job =

@@ -150,16 +150,38 @@ let expired () = { deadline = Some (now_s () -. 1.) }
 
 let budget_env_var = "BUFSIZE_SOLVE_BUDGET_MS"
 
+(* Ambient per-request budget.  The sizing daemon serves many clients
+   with different deadlines from one process, so a process-wide env var
+   cannot carry them; instead the request handler installs its deadline
+   here (domain-local, so concurrent worker domains never see each
+   other's deadlines) and every solver that defaults its budget from
+   [of_env] picks it up without any signature change.  [Pool] re-installs
+   the caller's ambient budget inside its worker domains, so a solve that
+   fans out stays under the same deadline. *)
+
+let ambient_key : budget option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let ambient_budget () = Domain.DLS.get ambient_key
+
+let with_ambient_budget b f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key (Some b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
+
 let of_env () =
-  match Sys.getenv_opt budget_env_var with
-  | None | Some "" -> unlimited
-  | Some s -> (
-      match float_of_string_opt s with
-      | Some ms when ms > 0. -> of_ms ms
-      | Some _ -> unlimited
-      | None ->
-          invalid_arg
-            (Printf.sprintf "%s: expected a duration in milliseconds, got %S" budget_env_var s))
+  match ambient_budget () with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt budget_env_var with
+      | None | Some "" -> unlimited
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some ms when ms > 0. -> of_ms ms
+          | Some _ -> unlimited
+          | None ->
+              invalid_arg
+                (Printf.sprintf "%s: expected a duration in milliseconds, got %S" budget_env_var s)))
 
 let exhausted b = match b.deadline with None -> false | Some d -> now_s () > d
 

@@ -141,6 +141,7 @@ let clear c = locked c @@ fun () -> Hashtbl.reset c.table
 
 let hits c = Atomic.get c.hit_count
 let misses c = Atomic.get c.miss_count
+let length c = locked c @@ fun () -> Hashtbl.length c.table
 
 let clear_all () =
   let caches =

@@ -51,6 +51,9 @@ val hits : 'a t -> int
 
 val misses : 'a t -> int
 
+val length : 'a t -> int
+(** Entries currently held; never exceeds the capacity. *)
+
 val enabled : unit -> bool
 (** Whether caching is globally enabled right now. *)
 

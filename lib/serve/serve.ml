@@ -1,0 +1,757 @@
+(* The sizing daemon: a select-based IO loop on one domain, worker
+   domains draining a bounded queue, replies written straight from the
+   worker that computed them (serialized per connection).
+
+   Worker *domains* rather than threads on purpose: the per-request
+   deadline travels as the ambient Resilience budget, which is
+   domain-local, so each in-flight request keeps its own deadline no
+   matter how the solves below it are scheduled. *)
+
+module Json = Bufsize_json.Json
+module Obs = Bufsize_obs.Obs
+module Resilience = Bufsize_resilience.Resilience
+module Sizing = Bufsize_soc.Sizing
+module Spec_parser = Bufsize_soc.Spec_parser
+module Topology = Bufsize_soc.Topology
+module Traffic = Bufsize_soc.Traffic
+module Buffer_alloc = Bufsize_soc.Buffer_alloc
+
+let m_requests = Obs.counter "serve.requests"
+let m_overloaded = Obs.counter "serve.overloaded"
+let m_degraded = Obs.counter "serve.degraded"
+let m_internal = Obs.counter "serve.internal_errors"
+
+(* ------------------------------------------------------- configuration *)
+
+type config = {
+  socket_path : string;
+  queue_depth : int;
+  workers : int;
+  default_deadline_ms : float;
+  max_request_bytes : int;
+}
+
+let env_nonneg_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "%s: expected a nonnegative integer, got %S" name s))
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> f
+      | None -> invalid_arg (Printf.sprintf "%s: expected a number, got %S" name s))
+
+let default_socket_path () = Filename.concat (Filename.get_temp_dir_name ()) "bufsize.sock"
+
+let config_of_env () =
+  {
+    socket_path =
+      (match Sys.getenv_opt "BUFSIZE_SERVE_SOCKET" with
+      | None | Some "" -> default_socket_path ()
+      | Some p -> p);
+    queue_depth = env_nonneg_int "BUFSIZE_SERVE_QUEUE" 64;
+    workers =
+      Int.max 1
+        (env_nonneg_int "BUFSIZE_SERVE_WORKERS"
+           (Int.max 1 (Int.min 4 (Domain.recommended_domain_count () - 1))));
+    default_deadline_ms = env_float "BUFSIZE_SERVE_DEADLINE_MS" 0.;
+    max_request_bytes = env_nonneg_int "BUFSIZE_SERVE_MAX_REQUEST" (1 lsl 20);
+  }
+
+let temp_socket_path () =
+  let path = Filename.temp_file "bufsize" ".sock" in
+  (* temp_file creates the file; the bind below wants the name only. *)
+  (try Sys.remove path with Sys_error _ -> ());
+  path
+
+let chaos_enabled () =
+  match Sys.getenv_opt "BUFSIZE_CHAOS" with Some "1" -> true | Some _ | None -> false
+
+(* ------------------------------------------------------------ handlers *)
+
+type error_kind = Bad_request | Oversized | Overloaded | Internal_error
+
+let error_kind_name = function
+  | Bad_request -> "bad_request"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Internal_error -> "internal_error"
+
+type reply =
+  | Reply_ok of (string * Json.t) list
+  | Reply_degraded of string * (string * Json.t) list
+  | Reply_error of { kind : error_kind; message : string; retry_after_ms : float option }
+
+type handler = deadline:Resilience.budget -> Json.t -> reply
+
+let ops : (string, handler) Hashtbl.t = Hashtbl.create 16
+let ops_mutex = Mutex.create ()
+
+let register_op name h =
+  if name = "ping" then invalid_arg "Serve.register_op: ping is answered by the IO loop";
+  Mutex.lock ops_mutex;
+  Hashtbl.replace ops name h;
+  Mutex.unlock ops_mutex
+
+let find_op name =
+  Mutex.lock ops_mutex;
+  let h = Hashtbl.find_opt ops name in
+  Mutex.unlock ops_mutex;
+  h
+
+let registered_ops () =
+  Mutex.lock ops_mutex;
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) ops [] in
+  Mutex.unlock ops_mutex;
+  List.sort String.compare ("ping" :: names)
+
+let bad_request message = Reply_error { kind = Bad_request; message; retry_after_ms = None }
+
+(* A handler body that validates by raising Invalid_argument (the
+   convention throughout the library) maps those onto bad_request — the
+   client's fault, not an internal error.  Other exceptions propagate to
+   the worker, which types them as degraded (deadline ran out mid-solve)
+   or internal_error. *)
+let guard f = try f () with Invalid_argument m -> bad_request m
+
+(* ------------------------------------------------ reply serialization *)
+
+let reply_json ~id ~op reply =
+  let base = [ ("id", id); ("op", Json.Str op) ] in
+  match reply with
+  | Reply_ok fields -> Json.Obj (base @ (("status", Json.Str "ok") :: fields))
+  | Reply_degraded (reason, fields) ->
+      Json.Obj
+        (base @ (("status", Json.Str "degraded") :: ("reason", Json.Str reason) :: fields))
+  | Reply_error { kind; message; retry_after_ms } ->
+      let err =
+        [ ("kind", Json.Str (error_kind_name kind)); ("message", Json.Str message) ]
+        @ (match retry_after_ms with None -> [] | Some ms -> [ ("retry_after_ms", Json.Num ms) ])
+      in
+      Json.Obj (base @ [ ("status", Json.Str "error"); ("error", Json.Obj err) ])
+
+(* ----------------------------------------------- shared serialization *)
+
+let sizing_core_json traffic (r : Sizing.result) =
+  let topo = Traffic.topology traffic in
+  let entry (e : Buffer_alloc.entry) =
+    Json.Obj
+      [
+        ("bus", Json.Str (Topology.bus topo e.Buffer_alloc.bus).Topology.bus_name);
+        ("client", Json.Str (Traffic.client_label topo e.Buffer_alloc.client));
+        ("words", Json.Num (float_of_int e.Buffer_alloc.words));
+      ]
+  in
+  Json.Obj
+    [
+      ( "allocation",
+        Json.List (Array.to_list (Array.map entry r.Sizing.allocation.Buffer_alloc.entries)) );
+      ("total_words", Json.Num (float_of_int r.Sizing.allocation.Buffer_alloc.total));
+      ("predicted_loss_rate", Json.Num r.Sizing.predicted_loss_rate);
+      ("words_per_level", Json.Num r.Sizing.words_per_level);
+      ("budget_bound_active", Json.Bool r.Sizing.budget_bound_active);
+    ]
+
+let solver_stats_json () =
+  let warm_acc, warm_rej = Bufsize_numeric.Simplex_revised.warm_stats () in
+  let lp_hits, lp_misses = Bufsize_numeric.Lp.cache_stats () in
+  let sz_hits, sz_misses = Sizing.cache_stats () in
+  let pair h m =
+    Json.Obj [ ("hits", Json.Num (float_of_int h)); ("misses", Json.Num (float_of_int m)) ]
+  in
+  Json.Obj
+    [
+      ("lp_cache", pair lp_hits lp_misses);
+      ("sizing_cache", pair sz_hits sz_misses);
+      ( "warm_start",
+        Json.Obj
+          [
+            ("accepted", Json.Num (float_of_int warm_acc));
+            ("rejected", Json.Num (float_of_int warm_rej));
+          ] );
+    ]
+
+(* -------------------------------------------------------- built-in ops *)
+
+let arch_of_request req =
+  match Json.mem_string "spec" req with
+  | Some text -> (
+      match Spec_parser.parse text with Ok a -> Ok a | Error e -> Error ("spec: " ^ e))
+  | None -> (
+      match Json.mem_string "arch" req with
+      | Some "fig1" -> Ok (Bufsize_soc.Fig1.create ())
+      | Some "netproc" -> Ok (Bufsize_soc.Netproc.create ())
+      | Some "amba" -> Ok (Bufsize_soc.Amba.create ())
+      | Some other ->
+          Error
+            (Printf.sprintf "unknown architecture %S (use fig1, netproc, amba, or inline \"spec\")"
+               other)
+      | None -> Error "request needs an \"arch\" name or inline \"spec\" text")
+
+let degradation_reason health =
+  match Resilience.status_reason (Resilience.worst_status (List.map snd health)) with
+  | Some r -> r
+  | None -> "degraded"
+
+let size_handler ~deadline:_ req =
+  match arch_of_request req with
+  | Error e -> bad_request e
+  | Ok (_, traffic) ->
+      guard @@ fun () ->
+      let budget = Option.value ~default:16 (Json.mem_int "budget" req) in
+      let max_states = Option.value ~default:64 (Json.mem_int "max_states" req) in
+      let config = { (Sizing.default_config ~budget) with Sizing.max_states } in
+      let r = Sizing.run config traffic in
+      let fields =
+        [
+          ("result", sizing_core_json traffic r);
+          ("health", Json.parse_exn (Resilience.health_to_json r.Sizing.health));
+          ("solver_stats", solver_stats_json ());
+        ]
+      in
+      if Resilience.health_ok r.Sizing.health then Reply_ok fields
+      else Reply_degraded (degradation_reason r.Sizing.health, fields)
+
+let simulate_handler ~deadline:_ req =
+  match arch_of_request req with
+  | Error e -> bad_request e
+  | Ok (_, traffic) ->
+      guard @@ fun () ->
+      let budget = Option.value ~default:16 (Json.mem_int "budget" req) in
+      let horizon = Option.value ~default:2000. (Json.mem_number "horizon" req) in
+      let seed = Option.value ~default:1 (Json.mem_int "seed" req) in
+      let max_states = Option.value ~default:64 (Json.mem_int "max_states" req) in
+      let policy = Option.value ~default:"uniform" (Json.mem_string "policy" req) in
+      let allocation =
+        match policy with
+        | "uniform" -> Buffer_alloc.uniform traffic ~budget
+        | "proportional" -> Buffer_alloc.traffic_proportional traffic ~budget
+        | "ctmdp" ->
+            let config = { (Sizing.default_config ~budget) with Sizing.max_states } in
+            (Sizing.run config traffic).Sizing.allocation
+        | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
+      in
+      let spec =
+        {
+          (Bufsize_sim.Sim_run.default_spec ~traffic ~allocation) with
+          Bufsize_sim.Sim_run.horizon;
+          seed;
+        }
+      in
+      let report = Bufsize_sim.Sim_run.run spec in
+      let module M = Bufsize_sim.Metrics in
+      Reply_ok
+        [
+          ("offered", Json.Num (float_of_int (M.total_offered report)));
+          ("lost", Json.Num (float_of_int (M.total_lost report)));
+          ("delivered", Json.Num (float_of_int (M.total_delivered report)));
+          ("loss_fraction", Json.Num (M.loss_fraction report));
+          ("events", Json.Num (float_of_int report.M.events));
+          ("horizon", Json.Num report.M.horizon);
+        ]
+
+let kron_handler ~deadline:_ req =
+  guard @@ fun () ->
+  let num name default = Option.value ~default (Json.mem_number name req) in
+  let int_field name default = Option.value ~default (Json.mem_int name req) in
+  let kx = int_field "kx" 9 and ky = int_field "ky" 9 in
+  if kx < 1 || ky < 1 then invalid_arg "queue capacities must be at least 1";
+  let spec =
+    {
+      Bufsize_soc.Monolithic.kx;
+      ky;
+      lambda_x = num "lambda_x" 1.5;
+      lambda_y = num "lambda_y" 1.2;
+      cross_fraction = num "cross" 0.25;
+      mu_x = num "mu_x" 2.4;
+      mu_y = num "mu_y" 2.2;
+    }
+  in
+  let bridge = Json.mem_int "bridge" req in
+  let g = Bufsize_soc.San_bridge.compare_split ?bridge_capacity:bridge spec in
+  let module S = Bufsize_soc.San_bridge in
+  let j = g.S.joint in
+  let fields =
+    [
+      ("states", Json.Num (float_of_int j.S.states));
+      ("sweeps", Json.Num (float_of_int j.S.sweeps));
+      ("converged", Json.Bool j.S.converged);
+      ("residual", Json.Num j.S.residual);
+      ("x_loss", Json.Num j.S.x_loss);
+      ("bridge_loss", Json.Num j.S.bridge_loss);
+      ("y_loss", Json.Num j.S.y_loss);
+      ("x_loss_gap_pct", Json.Num g.S.x_loss_gap_pct);
+      ("y_loss_gap_pct", Json.Num g.S.y_loss_gap_pct);
+      ("bridge_delay_gap_pct", Json.Num g.S.bridge_delay_gap_pct);
+    ]
+  in
+  if j.S.converged then Reply_ok fields
+  else Reply_degraded ("power iteration did not converge within the sweep cap", fields)
+
+(* Occupies a worker for a controlled interval — lets tests fill the
+   queue deterministically.  Chaos-gated: a production daemon must not
+   offer a free denial-of-service op. *)
+let stall_handler ~deadline:_ req =
+  if not (chaos_enabled ()) then bad_request "stall requires BUFSIZE_CHAOS=1"
+  else begin
+    let ms = Option.value ~default:100. (Json.mem_number "ms" req) in
+    Unix.sleepf (Float.max 0. ms /. 1000.);
+    Reply_ok [ ("slept_ms", Json.Num ms) ]
+  end
+
+let () =
+  register_op "size" size_handler;
+  register_op "simulate" simulate_handler;
+  register_op "kron" kron_handler;
+  register_op "stall" stall_handler
+
+(* ------------------------------------------------- conns, queue, server *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wm : Mutex.t;  (* serializes reply writes from workers and the IO loop *)
+  rbuf : Buffer.t;
+  mutable skipping : bool;  (* discarding the rest of an oversized line *)
+  mutable eof : bool;
+  mutable alive : bool;  (* false after a write error: stop writing *)
+  pending : int Atomic.t;  (* queued + running requests of this conn *)
+}
+
+type work = {
+  w_conn : conn;
+  w_id : Json.t;
+  w_op : string;
+  w_handler : handler;
+  w_req : Json.t;
+  w_deadline : Resilience.budget;
+}
+
+type queue = {
+  qm : Mutex.t;
+  qcv : Condition.t;
+  items : work Queue.t;
+  depth : int;
+  mutable closed : bool;
+}
+
+let queue_create depth =
+  {
+    qm = Mutex.create ();
+    qcv = Condition.create ();
+    items = Queue.create ();
+    depth;
+    closed = false;
+  }
+
+(* Non-blocking admission: full queue means an immediate typed rejection,
+   never an unbounded backlog.  Returns the waiting count for the
+   retry-after hint (read under the same lock, so never torn). *)
+let queue_try_push q w =
+  Mutex.lock q.qm;
+  let accepted = (not q.closed) && Queue.length q.items < q.depth in
+  if accepted then begin
+    Queue.push w q.items;
+    Condition.signal q.qcv
+  end;
+  let waiting = Queue.length q.items in
+  Mutex.unlock q.qm;
+  (accepted, waiting)
+
+let queue_pop q =
+  Mutex.lock q.qm;
+  while Queue.is_empty q.items && not q.closed do
+    Condition.wait q.qcv q.qm
+  done;
+  let w = if Queue.is_empty q.items then None else Some (Queue.pop q.items) in
+  Mutex.unlock q.qm;
+  w
+
+let queue_close q =
+  Mutex.lock q.qm;
+  q.closed <- true;
+  Condition.broadcast q.qcv;
+  Mutex.unlock q.qm
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  q : queue;
+  stopping : bool Atomic.t;
+  mutable conns : conn list;  (* touched only by the IO domain *)
+  mutable worker_domains : unit Domain.t array;
+  mutable io_domain : unit Domain.t option;
+  mutable stopped : bool;
+  ewma_ms : float Atomic.t;  (* smoothed request service time *)
+}
+
+let socket_path t = t.cfg.socket_path
+let config t = t.cfg
+
+let rec write_all fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 1.0);
+        write_all fd b off len
+
+let write_reply conn ~id ~op reply =
+  let line = Json.encode (reply_json ~id ~op reply) ^ "\n" in
+  Mutex.lock conn.wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wm)
+    (fun () ->
+      if conn.alive then
+        try write_all conn.fd (Bytes.of_string line) 0 (String.length line)
+        with Unix.Unix_error _ -> conn.alive <- false)
+
+let deadline_of_request t req =
+  match Json.mem_number "deadline_ms" req with
+  | Some ms when ms <= 0. -> Resilience.expired ()
+  | Some ms -> Resilience.of_ms ms
+  | None ->
+      if t.cfg.default_deadline_ms > 0. then Resilience.of_ms t.cfg.default_deadline_ms
+      else Resilience.unlimited
+
+(* One complete request line, dispatched from the IO domain.  Every line
+   gets exactly one reply: parse errors and unknown ops are answered
+   inline, ping short-circuits (a liveness probe that works while every
+   worker is busy), everything else is enqueued or bounced with a typed
+   overloaded rejection. *)
+let handle_line t conn line =
+  Obs.incr m_requests;
+  match Json.parse line with
+  | Error e -> write_reply conn ~id:Json.Null ~op:"" (bad_request ("invalid JSON: " ^ e))
+  | Ok req -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" req) in
+      match Json.mem_string "op" req with
+      | None -> write_reply conn ~id ~op:"" (bad_request "missing or non-string \"op\"")
+      | Some "ping" ->
+          write_reply conn ~id ~op:"ping"
+            (Reply_ok [ ("ops", Json.List (List.map (fun n -> Json.Str n) (registered_ops ()))) ])
+      | Some op -> (
+          match find_op op with
+          | None ->
+              write_reply conn ~id ~op
+                (bad_request
+                   (Printf.sprintf "unknown op %S (available: %s)" op
+                      (String.concat ", " (registered_ops ()))))
+          | Some h ->
+              let w =
+                {
+                  w_conn = conn;
+                  w_id = id;
+                  w_op = op;
+                  w_handler = h;
+                  w_req = req;
+                  w_deadline = deadline_of_request t req;
+                }
+              in
+              let accepted, waiting = queue_try_push t.q w in
+              if accepted then Atomic.incr conn.pending
+              else begin
+                Obs.incr m_overloaded;
+                let ewma = Float.max 1. (Atomic.get t.ewma_ms) in
+                let hint =
+                  Float.max 1. (ewma *. float_of_int (waiting + 1) /. float_of_int t.cfg.workers)
+                in
+                write_reply conn ~id ~op
+                  (Reply_error
+                     {
+                       kind = Overloaded;
+                       message = Printf.sprintf "request queue full (depth %d)" t.cfg.queue_depth;
+                       retry_after_ms = Some hint;
+                     })
+              end))
+
+(* ------------------------------------------------------------- workers *)
+
+let run_work t w =
+  let t0 = Unix.gettimeofday () in
+  let reply =
+    if Resilience.exhausted w.w_deadline then
+      Reply_degraded ("deadline exceeded before the request started", [])
+    else
+      match
+        Resilience.with_ambient_budget w.w_deadline (fun () ->
+            w.w_handler ~deadline:w.w_deadline w.w_req)
+      with
+      | r -> r
+      | exception e ->
+          if Resilience.exhausted w.w_deadline then
+            Reply_degraded ("deadline exceeded: " ^ Printexc.to_string e, [])
+          else
+            Reply_error
+              { kind = Internal_error; message = Printexc.to_string e; retry_after_ms = None }
+  in
+  (match reply with
+  | Reply_degraded _ -> Obs.incr m_degraded
+  | Reply_error { kind = Internal_error; _ } -> Obs.incr m_internal
+  | Reply_ok _ | Reply_error _ -> ());
+  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let prev = Atomic.get t.ewma_ms in
+  Atomic.set t.ewma_ms (if prev <= 0. then dt_ms else (0.8 *. prev) +. (0.2 *. dt_ms));
+  write_reply w.w_conn ~id:w.w_id ~op:w.w_op reply;
+  Atomic.decr w.w_conn.pending
+
+let worker_loop t =
+  let rec go () =
+    match queue_pop t.q with
+    | None -> ()
+    | Some w ->
+        (* run_work is exception-free by construction (the handler call is
+           guarded, reply writes swallow socket errors); the belt-and-
+           braces handler keeps a worker alive against the unexpected. *)
+        (try run_work t w with _ -> Atomic.decr w.w_conn.pending);
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------- IO loop *)
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let unlink_noerr path = try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* Feed a received chunk through the connection's line framing.  The
+   partial tail lives in conn.rbuf between reads; oversized lines
+   (longer than max_request_bytes without a newline) get one typed reply
+   and are discarded up to the next newline, so the connection stays
+   usable and the one-reply-per-request invariant holds. *)
+let process_chunk t conn chunk =
+  let oversized () =
+    write_reply conn ~id:Json.Null ~op:""
+      (Reply_error
+         {
+           kind = Oversized;
+           message = Printf.sprintf "request exceeds %d bytes" t.cfg.max_request_bytes;
+           retry_after_ms = None;
+         })
+  in
+  let data =
+    if Buffer.length conn.rbuf = 0 then chunk
+    else begin
+      let head = Buffer.contents conn.rbuf in
+      Buffer.clear conn.rbuf;
+      head ^ chunk
+    end
+  in
+  let n = String.length data in
+  let rec go start =
+    if start < n then
+      match String.index_from_opt data start '\n' with
+      | Some i ->
+          let line = String.sub data start (i - start) in
+          if conn.skipping then conn.skipping <- false
+          else if String.length line > t.cfg.max_request_bytes then oversized ()
+          else if String.trim line <> "" then handle_line t conn line;
+          go (i + 1)
+      | None ->
+          let rest = n - start in
+          if conn.skipping then ()
+          else if rest > t.cfg.max_request_bytes then begin
+            conn.skipping <- true;
+            oversized ()
+          end
+          else Buffer.add_substring conn.rbuf data start rest
+  in
+  go 0
+
+let accept_conns t =
+  let rec loop () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        t.conns <-
+          {
+            fd;
+            wm = Mutex.create ();
+            rbuf = Buffer.create 256;
+            skipping = false;
+            eof = false;
+            alive = true;
+            pending = Atomic.make 0;
+          }
+          :: t.conns;
+        loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  loop ()
+
+let read_conn t conn buf =
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> conn.eof <- true
+  | nread -> process_chunk t conn (Bytes.sub_string buf 0 nread)
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+      conn.eof <- true;
+      conn.alive <- false
+
+let io_loop t =
+  let buf = Bytes.create 65536 in
+  while not (Atomic.get t.stopping) do
+    (* Reap connections that reached EOF and have no replies in flight.
+       A conn with pending work keeps its fd open so the worker's reply
+       still has somewhere to go (and the fd number cannot be reused by
+       a new accept while a worker might write to it). *)
+    let live, dead = List.partition (fun c -> not (c.eof && Atomic.get c.pending = 0)) t.conns in
+    List.iter (fun c -> close_noerr c.fd) dead;
+    t.conns <- live;
+    let read_fds =
+      t.listen_fd :: List.filter_map (fun c -> if c.eof then None else Some c.fd) live
+    in
+    match Unix.select read_fds [] [] 0.1 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then accept_conns t
+            else
+              match List.find_opt (fun c -> c.fd = fd) t.conns with
+              | Some conn -> read_conn t conn buf
+              | None -> ())
+          ready
+  done;
+  (* Stop accepting immediately; queued work keeps draining in [stop]. *)
+  close_noerr t.listen_fd;
+  unlink_noerr t.cfg.socket_path
+
+(* ----------------------------------------------------------- lifecycle *)
+
+let start ?config () =
+  let cfg = match config with Some c -> c | None -> config_of_env () in
+  if cfg.workers < 1 then invalid_arg "Serve.start: need at least one worker";
+  (* A dying client mid-write must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  unlink_noerr cfg.socket_path;
+  (try
+     Unix.bind listen_fd (ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with e ->
+     close_noerr listen_fd;
+     raise e);
+  let t =
+    {
+      cfg;
+      listen_fd;
+      q = queue_create cfg.queue_depth;
+      stopping = Atomic.make false;
+      conns = [];
+      worker_domains = [||];
+      io_domain = None;
+      stopped = false;
+      ewma_ms = Atomic.make 0.;
+    }
+  in
+  t.worker_domains <- Array.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.io_domain <- Some (Domain.spawn (fun () -> io_loop t));
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    Option.iter Domain.join t.io_domain;
+    t.io_domain <- None;
+    (* The IO loop has exited, so no further pushes arrive.  Closing the
+       queue lets the workers drain what is queued, reply, and exit. *)
+    queue_close t.q;
+    Array.iter Domain.join t.worker_domains;
+    t.worker_domains <- [||];
+    (* All replies are written (workers joined): connections can close. *)
+    List.iter (fun c -> close_noerr c.fd) t.conns;
+    t.conns <- [];
+    unlink_noerr t.cfg.socket_path
+  end
+
+(* -------------------------------------------------------------- client *)
+
+type failure_kind = Retryable of string | Fatal of string
+
+let send_and_receive ~socket req =
+  match Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Fatal ("socket: " ^ Unix.error_message e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> close_noerr fd)
+        (fun () ->
+          match Unix.connect fd (ADDR_UNIX socket) with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Retryable (Printf.sprintf "connect %s: %s" socket (Unix.error_message e)))
+          | () -> (
+              let line = Json.encode req ^ "\n" in
+              match write_all fd (Bytes.of_string line) 0 (String.length line) with
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (Retryable ("send: " ^ Unix.error_message e))
+              | () ->
+                  let buf = Bytes.create 65536 in
+                  let acc = Buffer.create 256 in
+                  let rec read_line () =
+                    match Unix.read fd buf 0 (Bytes.length buf) with
+                    | exception Unix.Unix_error (EINTR, _, _) -> read_line ()
+                    | exception Unix.Unix_error (e, _, _) ->
+                        Error (Retryable ("recv: " ^ Unix.error_message e))
+                    | 0 -> Error (Fatal "connection closed before a reply arrived")
+                    | n -> (
+                        Buffer.add_subbytes acc buf 0 n;
+                        let s = Buffer.contents acc in
+                        match String.index_opt s '\n' with
+                        | None -> read_line ()
+                        | Some i -> (
+                            match Json.parse (String.sub s 0 i) with
+                            | Ok v -> Ok v
+                            | Error e -> Error (Fatal ("unparsable reply: " ^ e))))
+                  in
+                  read_line ()))
+
+let request ~socket req =
+  match send_and_receive ~socket req with
+  | Ok v -> Ok v
+  | Error (Retryable m) | Error (Fatal m) -> Error m
+
+let reply_overloaded_hint v =
+  match Json.member "error" v with
+  | Some err when Json.mem_string "kind" err = Some "overloaded" ->
+      Some (Option.value ~default:0. (Json.mem_number "retry_after_ms" err))
+  | Some _ | None -> None
+
+let request_with_retry ?(attempts = 6) ?(base_delay_ms = 25.) ?(max_delay_ms = 2000.) ?seed
+    ~socket req =
+  let rng =
+    match seed with
+    | Some s -> Random.State.make [| s |]
+    | None -> Random.State.make_self_init ()
+  in
+  let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.) in
+  let backoff k hint =
+    (* Full jitter over the exponential cap, floored at the server's
+       retry-after hint when it gave one. *)
+    let cap = Float.min max_delay_ms (base_delay_ms *. (2. ** float_of_int k)) in
+    let jittered = Random.State.float rng cap in
+    Float.max (Option.value ~default:0. hint) jittered
+  in
+  let rec go k =
+    match send_and_receive ~socket req with
+    | Ok v -> (
+        match reply_overloaded_hint v with
+        | Some hint when k + 1 < attempts ->
+            sleep_ms (backoff k (Some hint));
+            go (k + 1)
+        | Some _ | None -> Ok v)
+    | Error (Fatal m) -> Error m
+    | Error (Retryable m) ->
+        if k + 1 < attempts then begin
+          sleep_ms (backoff k None);
+          go (k + 1)
+        end
+        else Error m
+  in
+  go 0

@@ -1,0 +1,144 @@
+(** Sizing-as-a-service: a long-running Unix-domain-socket daemon.
+
+    The server speaks newline-delimited JSON: one request object per
+    line, one reply object per line, ids echoed verbatim.  Requests fan
+    out to worker domains over a bounded queue; the accept/read loop
+    never blocks on a solve.  The robustness envelope is first-class:
+
+    - {b admission control} — when the queue is full the request is
+      rejected immediately with a typed [overloaded] error carrying a
+      retry-after hint, instead of queueing unboundedly;
+    - {b deadline propagation} — a request's [deadline_ms] becomes the
+      ambient {!Bufsize_resilience.Resilience} budget of its worker, so
+      every solver it reaches (including through {!Bufsize_pool.Pool})
+      cuts off server-side and degrades instead of hanging;
+    - {b crash isolation} — an exception in a handler poisons only its
+      own request (typed [internal_error] reply), never the accept loop;
+    - {b graceful shutdown} — {!stop} drains queued and in-flight
+      requests, writes their replies, closes connections and unlinks the
+      socket.
+
+    {2 Protocol}
+
+    Request: [{"id":1,"op":"size","arch":"netproc","budget":160,
+    "max_states":64,"deadline_ms":5000}].  [id] is echoed verbatim (any
+    JSON value; [null] when absent); [op] selects a handler; absent
+    [deadline_ms] uses the server default, [deadline_ms <= 0] is an
+    already-expired deadline.
+
+    Reply: [{"id":1,"op":"size","status":"ok",...}] with [status] one of
+    ["ok"], ["degraded"] (usable answer plus a ["reason"]), or ["error"]
+    with an ["error"] object [{"kind":k,"message":m,"retry_after_ms":r}]
+    where [kind] is ["bad_request"], ["oversized"], ["overloaded"] or
+    ["internal_error"].
+
+    Built-in ops: [ping] (answered inline by the IO loop — a liveness
+    probe that works even when every worker is busy), [size], [simulate],
+    [kron], and the chaos-gated [stall]; the verify library registers
+    [verify] and [chaos] (both gated behind [BUFSIZE_CHAOS=1] where they
+    inject faults). *)
+
+module Json := Bufsize_json.Json
+module Resilience := Bufsize_resilience.Resilience
+
+(** {1 Configuration} *)
+
+type config = {
+  socket_path : string;
+  queue_depth : int;  (** waiting requests beyond which [overloaded] fires *)
+  workers : int;  (** worker domains; >= 1 *)
+  default_deadline_ms : float;  (** for requests without [deadline_ms]; <= 0 = unlimited *)
+  max_request_bytes : int;  (** longer request lines get a typed [oversized] reply *)
+}
+
+val config_of_env : unit -> config
+(** Defaults seeded from the environment: [BUFSIZE_SERVE_SOCKET] (default
+    [<tmpdir>/bufsize.sock]), [BUFSIZE_SERVE_QUEUE] (64),
+    [BUFSIZE_SERVE_WORKERS], [BUFSIZE_SERVE_DEADLINE_MS] (unlimited),
+    [BUFSIZE_SERVE_MAX_REQUEST] (1 MiB). *)
+
+val temp_socket_path : unit -> string
+(** A fresh unique socket path in the temp directory — for in-process
+    servers in tests and oracles. *)
+
+(** {1 Handlers} *)
+
+type error_kind = Bad_request | Oversized | Overloaded | Internal_error
+
+type reply =
+  | Reply_ok of (string * Json.t) list
+  | Reply_degraded of string * (string * Json.t) list
+      (** best-known answer plus the degradation reason *)
+  | Reply_error of { kind : error_kind; message : string; retry_after_ms : float option }
+
+type handler = deadline:Resilience.budget -> Json.t -> reply
+(** Runs on a worker domain with [deadline] already installed as the
+    ambient solve budget; exceptions become [internal_error] replies
+    (or [degraded] when the deadline expired mid-flight). *)
+
+val register_op : string -> handler -> unit
+(** Later registrations replace earlier ones; ["ping"] cannot be taken
+    (the IO loop answers it before dispatch). *)
+
+val registered_ops : unit -> string list
+(** Sorted op names, [ping] included. *)
+
+val chaos_enabled : unit -> bool
+(** Whether [BUFSIZE_CHAOS=1] — the gate on fault-injection ops. *)
+
+(** {1 Server lifecycle} *)
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind the socket (replacing a stale file), spawn the worker domains
+    and the IO domain.  The socket is connectable when [start] returns.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, drain queued and in-flight
+    requests (their replies are written), join all domains, close every
+    connection and unlink the socket.  Idempotent. *)
+
+val socket_path : t -> string
+val config : t -> config
+
+(** {1 Client} *)
+
+val request : socket:string -> Json.t -> (Json.t, string) result
+(** One request over a fresh connection: connect, send, read exactly one
+    reply line, close.  [Error] on connection failure, a dropped
+    connection, or an unparsable reply. *)
+
+val request_with_retry :
+  ?attempts:int ->
+  ?base_delay_ms:float ->
+  ?max_delay_ms:float ->
+  ?seed:int ->
+  socket:string ->
+  Json.t ->
+  (Json.t, string) result
+(** {!request} with jittered exponential backoff (full jitter: a uniform
+    fraction of the current cap) on connection failure and on typed
+    [overloaded] replies, honoring the server's [retry_after_ms] hint as
+    a floor when present.  [attempts] (default 6) counts total tries;
+    [base_delay_ms] defaults to 25, [max_delay_ms] to 2000.  [seed]
+    makes the jitter deterministic for tests. *)
+
+(** {1 Shared serialization}
+
+    The daemon's [size] reply and the CLI's [size --json] output go
+    through the same serializer, so "daemon answers bitwise-identical to
+    the CLI" is checkable with string equality: floats print with %.17g
+    (lossless round-trip). *)
+
+val sizing_core_json : Bufsize_soc.Traffic.t -> Bufsize_soc.Sizing.result -> Json.t
+(** The deterministic core of a sizing result: allocation entries (bus /
+    client / words in the allocation's canonical order), total words,
+    predicted loss rate, words per level, and whether the budget bound
+    was active.  Health is deliberately excluded — it carries wall-clock
+    times. *)
+
+val solver_stats_json : unit -> Json.t
+(** The process-wide cache and warm-start counters, shaped like the
+    [solver_stats] object of the CLI's [--health-json]. *)

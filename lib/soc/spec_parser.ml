@@ -30,12 +30,36 @@ let parse_int ~lineno what s =
 
 let keywords = [ "bus"; "proc"; "bridge"; "mesh"; "torus"; "shared_buffer"; "flow" ]
 
+(* Hard caps against adversarial input.  The parser feeds on daemon
+   requests and user files, so resource use must be bounded before any
+   topology is built: a one-line multi-gigabyte "spec", a million-stanza
+   flood, or a [mesh] stanza declaring 10^9 buses should all be cheap,
+   line-numbered errors — not an allocation storm. *)
+let max_input_bytes = 1 lsl 20
+let max_line_bytes = 4096
+let max_statements = 4096
+let max_token_bytes = 256
+let max_grid_cells = 4096
+
 let grid_kind_of_keyword = function
   | "mesh" -> Topology.Mesh
   | "torus" -> Topology.Torus
   | kw -> invalid_arg ("not a grid keyword: " ^ kw)
 
+let check_grid_size ~lineno kw r c =
+  if r * c > max_grid_cells then
+    Error
+      (Printf.sprintf "line %d: %s declares %d cells, more than the cap of %d" lineno kw (r * c)
+         max_grid_cells)
+  else Ok ()
+
 let parse_statement lineno tokens =
+  match List.find_opt (fun t -> String.length t > max_token_bytes) tokens with
+  | Some t ->
+      Error
+        (Printf.sprintf "line %d: token of %d bytes exceeds the cap of %d" lineno
+           (String.length t) max_token_bytes)
+  | None -> (
   match tokens with
   | [] -> Ok None
   | [ "bus"; name ] -> Ok (Some (Bus (name, 1.0)))
@@ -45,15 +69,17 @@ let parse_statement lineno tokens =
   | [ "bridge"; name; bus1; bus2 ] -> Ok (Some (Bridge (name, bus1, bus2)))
   | [ (("mesh" | "torus") as kw); name; "rows"; rows; "cols"; cols ] ->
       Result.bind (parse_int ~lineno (kw ^ " rows") rows) (fun r ->
-          Result.map
-            (fun c -> Some (Grid (grid_kind_of_keyword kw, name, r, c, 1.0)))
-            (parse_int ~lineno (kw ^ " cols") cols))
+          Result.bind (parse_int ~lineno (kw ^ " cols") cols) (fun c ->
+              Result.map
+                (fun () -> Some (Grid (grid_kind_of_keyword kw, name, r, c, 1.0)))
+                (check_grid_size ~lineno kw r c)))
   | [ (("mesh" | "torus") as kw); name; "rows"; rows; "cols"; cols; "rate"; rate ] ->
       Result.bind (parse_int ~lineno (kw ^ " rows") rows) (fun r ->
           Result.bind (parse_int ~lineno (kw ^ " cols") cols) (fun c ->
-              Result.map
-                (fun mu -> Some (Grid (grid_kind_of_keyword kw, name, r, c, mu)))
-                (parse_float ~lineno (kw ^ " rate") rate)))
+              Result.bind (check_grid_size ~lineno kw r c) (fun () ->
+                  Result.map
+                    (fun mu -> Some (Grid (grid_kind_of_keyword kw, name, r, c, mu)))
+                    (parse_float ~lineno (kw ^ " rate") rate))))
   | [ "shared_buffer"; bus ] -> Ok (Some (Shared bus))
   | [ "flow"; src; "->"; dst; "rate"; rate ] ->
       Result.map (fun r -> Some (Flow (src, dst, r))) (parse_float ~lineno "flow rate" rate)
@@ -61,19 +87,37 @@ let parse_statement lineno tokens =
       Error
         (Printf.sprintf "line %d: malformed %s statement: %S" lineno keyword
            (String.concat " " tokens))
-  | keyword :: _ -> Error (Printf.sprintf "line %d: unknown keyword %S" lineno keyword)
+  | keyword :: _ -> Error (Printf.sprintf "line %d: unknown keyword %S" lineno keyword))
 
 let parse text =
+  if String.length text > max_input_bytes then
+    Error
+      (Printf.sprintf "spec of %d bytes exceeds the cap of %d" (String.length text)
+         max_input_bytes)
+  else begin
   let lines = String.split_on_char '\n' text in
   let statements = ref [] in
+  let nstatements = ref 0 in
   let error = ref None in
   List.iteri
     (fun i line ->
       if !error = None then
-        match parse_statement (i + 1) (tokenize (strip_comment line)) with
-        | Ok None -> ()
-        | Ok (Some s) -> statements := (i + 1, s) :: !statements
-        | Error e -> error := Some e)
+        if String.length line > max_line_bytes then
+          error :=
+            Some
+              (Printf.sprintf "line %d: %d bytes exceeds the cap of %d" (i + 1)
+                 (String.length line) max_line_bytes)
+        else
+          match parse_statement (i + 1) (tokenize (strip_comment line)) with
+          | Ok None -> ()
+          | Ok (Some s) ->
+              incr nstatements;
+              if !nstatements > max_statements then
+                error :=
+                  Some
+                    (Printf.sprintf "line %d: more than %d statements" (i + 1) max_statements)
+              else statements := (i + 1, s) :: !statements
+          | Error e -> error := Some e)
     lines;
   match !error with
   | Some e -> Error e
@@ -153,6 +197,7 @@ let parse text =
       | result -> Ok result
       | exception Failure msg -> Error msg
       | exception Invalid_argument msg -> Error msg)
+  end
 
 let parse_file path =
   match open_in path with

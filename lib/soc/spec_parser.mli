@@ -25,7 +25,13 @@
     of the paper's static partition.
 
     Identifiers are non-empty words without whitespace; keywords are
-    lowercase.  Errors are reported with their line numbers. *)
+    lowercase.  Errors are reported with their line numbers.
+
+    The parser is exposed to untrusted input (daemon requests, user
+    files), so resource use is bounded by hard caps, each producing a
+    line-numbered error rather than an allocation storm: 1 MiB of input,
+    4096 bytes per line, 4096 statements, 256 bytes per token, and 4096
+    cells per [mesh]/[torus] grid. *)
 
 val parse : string -> (Topology.t * Traffic.t, string) result
 (** Parse a description from a string.  At least one flow is required

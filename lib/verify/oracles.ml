@@ -1416,7 +1416,13 @@ let all =
     kron;
     topo;
     Chaos.oracle;
+    Serve_oracle.oracle;
   ]
+
+(* The daemon's [verify] op runs this same matrix; the list is injected
+   (rather than referenced from Serve_oracle) because Driver defaults to
+   [all] and a back-reference would cycle. *)
+let () = Serve_oracle.set_verify_oracles all
 
 let find name = List.find_opt (fun o -> o.name = name) all
 
@@ -1487,6 +1493,21 @@ let case_of_repro text =
               match Spec_parser.parse text with
               | Error e -> Error ("sizing-bounds: " ^ e)
               | Ok _ -> Ok (sizing_case_to_oracle_case { text; budget; max_states }))))
+  | Some "serve" -> (
+      match header_value ~prefix:"# serve cross-check:" text with
+      | None -> Error "serve repro has no '# serve cross-check:' header"
+      | Some hdr -> (
+          match
+            Scanf.sscanf_opt hdr "budget %d words, max_states %d, seed %d" (fun b m s ->
+                (b, m, s))
+          with
+          | None -> Error ("serve: bad cross-check header: " ^ hdr)
+          | Some (budget, max_states, seed) -> (
+              (* The parser skips '#' lines, so the full repro text is a
+                 valid spec. *)
+              match Spec_parser.parse text with
+              | Error e -> Error ("serve: " ^ e)
+              | Ok _ -> Ok (Serve_oracle.case ~text ~budget ~max_states ~seed))))
   | Some "topo" -> (
       match header_value ~prefix:"# topo cross-check:" text with
       | None -> Error "topo repro has no '# topo cross-check:' header"

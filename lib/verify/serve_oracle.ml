@@ -1,0 +1,367 @@
+(* Oracle #10: the daemon is a transparent wrapper.  See serve_oracle.mli
+   for the contract; the short version is that a real in-process server
+   must answer a hostile mixed batch with exactly one typed reply per
+   request, byte-identical to direct library calls where a result is
+   involved, and still be alive afterwards. *)
+
+module Rng = Bufsize_prob.Rng
+module Json = Bufsize_json.Json
+module Serve = Bufsize_serve.Serve
+module Spec_parser = Bufsize_soc.Spec_parser
+module Splitting = Bufsize_soc.Splitting
+module Sizing = Bufsize_soc.Sizing
+open Oracle
+
+(* ----------------------------------------------------- daemon-side ops *)
+
+(* The oracle matrix, injected by Oracles at init.  A ref rather than a
+   direct reference because Driver defaults to Oracles.all: referencing
+   Oracles here would close a module cycle. *)
+let verify_oracles : Oracle.t list ref = ref []
+let set_verify_oracles l = verify_oracles := l
+
+let verify_handler ~deadline:_ req =
+  let count = Int.max 1 (Int.min 50 (Option.value ~default:1 (Json.mem_int "count" req))) in
+  let seed = Option.value ~default:1 (Json.mem_int "seed" req) in
+  let max_states = Int.max 8 (Option.value ~default:24 (Json.mem_int "max_states" req)) in
+  let wanted = Json.mem_string "oracle" req in
+  let oracles =
+    match wanted with
+    | Some name -> List.filter (fun o -> o.name = name) !verify_oracles
+    | None ->
+        (* Running the serve oracle from inside a serve worker would nest
+           a server per case; callers who really want that name it. *)
+        List.filter (fun o -> o.name <> "serve") !verify_oracles
+  in
+  match (oracles, wanted) with
+  | [], Some name ->
+      Serve.Reply_error
+        {
+          kind = Serve.Bad_request;
+          message = Printf.sprintf "unknown oracle %S" name;
+          retry_after_ms = None;
+        }
+  | oracles, _ ->
+      let failures = ref [] in
+      let cases = ref 0 in
+      List.iteri
+        (fun oi o ->
+          let rng = Rng.create (Rng.derive_seed seed oi) in
+          for _ = 1 to count do
+            incr cases;
+            let case = o.generate ~max_states rng in
+            match run_check case with
+            | Pass -> ()
+            | Fail msg ->
+                failures :=
+                  Json.Obj
+                    [
+                      ("oracle", Json.Str o.name);
+                      ("label", Json.Str case.label);
+                      ("message", Json.Str msg);
+                    ]
+                  :: !failures
+          done)
+        oracles;
+      Serve.Reply_ok
+        [
+          ("oracles", Json.Num (float_of_int (List.length oracles)));
+          ("cases", Json.Num (float_of_int !cases));
+          ("failures", Json.List (List.rev !failures));
+          ("pass", Json.Bool (!failures = []));
+        ]
+
+(* Fault injection op: replays a Chaos fault family by name, or — with
+   the reserved name [raise] — crashes its own handler on purpose to
+   prove worker crash isolation end to end. *)
+let chaos_handler ~deadline:_ req =
+  if not (Serve.chaos_enabled ()) then
+    Serve.Reply_error
+      { kind = Serve.Bad_request; message = "chaos requires BUFSIZE_CHAOS=1"; retry_after_ms = None }
+  else
+    match Json.mem_string "fault" req with
+    | None ->
+        Serve.Reply_error
+          { kind = Serve.Bad_request; message = "chaos needs a \"fault\" name"; retry_after_ms = None }
+    | Some "raise" -> failwith "chaos: injected handler crash"
+    | Some name -> (
+        match Chaos.fault_of_name name with
+        | None ->
+            Serve.Reply_error
+              {
+                kind = Serve.Bad_request;
+                message =
+                  Printf.sprintf "unknown fault %S (or \"raise\"); known: %s" name
+                    (String.concat ", " (List.map Chaos.fault_name Chaos.all_faults));
+                retry_after_ms = None;
+              }
+        | Some fault -> (
+            let seed = Option.value ~default:1 (Json.mem_int "seed" req) in
+            match Chaos.check fault seed with
+            | Pass -> Serve.Reply_ok [ ("verdict", Json.Str "pass") ]
+            | Fail msg ->
+                Serve.Reply_ok [ ("verdict", Json.Str "fail"); ("message", Json.Str msg) ]))
+
+let () =
+  Serve.register_op "verify" verify_handler;
+  Serve.register_op "chaos" chaos_handler
+
+(* ------------------------------------------------------- the cross-check *)
+
+type serve_case = { sv_text : string; sv_budget : int; sv_max_states : int; sv_seed : int }
+
+let oracle_config () =
+  {
+    Serve.socket_path = Serve.temp_socket_path ();
+    queue_depth = 32;
+    workers = 2;
+    default_deadline_ms = 0.;
+    max_request_bytes = 4096;
+  }
+
+let size_request ~id c =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int id));
+      ("op", Json.Str "size");
+      ("spec", Json.Str c.sv_text);
+      ("budget", Json.Num (float_of_int c.sv_budget));
+      ("max_states", Json.Num (float_of_int c.sv_max_states));
+    ]
+
+(* What the daemon must answer for a sizing request, computed without the
+   daemon: the shared serializer over a direct library call. *)
+let expected_result c =
+  match Spec_parser.parse c.sv_text with
+  | Error e -> Error ("case spec does not parse: " ^ e)
+  | Ok (_, traffic) ->
+      let config =
+        { (Sizing.default_config ~budget:c.sv_budget) with Sizing.max_states = c.sv_max_states }
+      in
+      Ok (Json.encode (Serve.sizing_core_json traffic (Sizing.run config traffic)))
+
+let status_of reply = Option.value ~default:"?" (Json.mem_string "status" reply)
+
+let error_kind_of reply =
+  match Json.member "error" reply with
+  | Some err -> Option.value ~default:"?" (Json.mem_string "kind" err)
+  | None -> "?"
+
+let check_sizing_reply ~what ~expected reply =
+  match status_of reply with
+  | "ok" | "degraded" -> (
+      match Json.member "result" reply with
+      | None -> failf "%s: sizing reply has no result field" what
+      | Some r ->
+          let got = Json.encode r in
+          if got = expected then Pass
+          else failf "%s: daemon result differs from direct call:\n  daemon  %s\n  direct  %s" what got
+              expected)
+  | other -> failf "%s: expected ok/degraded, got status %s" what other
+
+(* One connection, the whole hostile batch pipelined: every line must
+   come back as exactly one reply, ids echoed, each with its typed
+   status. *)
+let pipelined_batch c socket expected =
+  let lines =
+    [
+      Json.encode (size_request ~id:1 c);
+      "{\"id\":2,\"op\":\"size\",";  (* malformed JSON *)
+      Json.encode (Json.Obj [ ("id", Json.Num 3.); ("op", Json.Str "no-such-op") ]);
+      Json.encode
+        (Json.Obj
+           [
+             ("id", Json.Num 4.);
+             ("op", Json.Str "size");
+             ("spec", Json.Str c.sv_text);
+             ("deadline_ms", Json.Num 0.);
+           ]);
+      "{\"id\":5,\"op\":\"size\",\"pad\":\"" ^ String.make 5000 'x' ^ "\"}";  (* > 4096 bytes *)
+      Json.encode (size_request ~id:6 c);
+    ]
+  in
+  let n = List.length lines in
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (ADDR_UNIX socket);
+      Unix.setsockopt_float fd SO_RCVTIMEO 30.;
+      let payload = String.concat "\n" lines ^ "\n" in
+      let b = Bytes.of_string payload in
+      let rec send off len =
+        if len > 0 then
+          let w = Unix.write fd b off len in
+          send (off + w) (len - w)
+      in
+      send 0 (Bytes.length b);
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create 1024 in
+      let count_newlines s = String.fold_left (fun k ch -> if ch = '\n' then k + 1 else k) 0 s in
+      let rec recv () =
+        if count_newlines (Buffer.contents acc) < n then
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> failf "pipelined: connection closed after %d/%d replies"
+                   (count_newlines (Buffer.contents acc)) n
+          | r ->
+              Buffer.add_subbytes acc buf 0 r;
+              recv ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+              failf "pipelined: timed out after %d/%d replies"
+                (count_newlines (Buffer.contents acc)) n
+        else Pass
+      in
+      match recv () with
+      | Fail _ as f -> f
+      | Pass -> (
+          let raw =
+            String.split_on_char '\n' (Buffer.contents acc) |> List.filter (fun l -> l <> "")
+          in
+          if List.length raw <> n then
+            failf "pipelined: sent %d requests, got %d replies" n (List.length raw)
+          else
+            match
+              List.fold_left
+                (fun acc line ->
+                  match (acc, Json.parse line) with
+                  | Error e, _ -> Error e
+                  | Ok rs, Ok r -> Ok (r :: rs)
+                  | Ok _, Error e -> Error (Printf.sprintf "unparsable reply %S: %s" line e))
+                (Ok []) raw
+            with
+            | Error e -> Fail ("pipelined: " ^ e)
+            | Ok replies ->
+                let with_id k =
+                  List.filter
+                    (fun r -> Json.member "id" r = Some (Json.Num (float_of_int k)))
+                    replies
+                in
+                let null_id =
+                  List.filter
+                    (fun r -> match Json.member "id" r with Some Json.Null -> true | _ -> false)
+                    replies
+                in
+                let exactly_one what = function
+                  | [ r ] -> Ok r
+                  | rs -> Result.Error (Printf.sprintf "%s: %d replies, want 1" what (List.length rs))
+                in
+                let ( let* ) r f = match r with Ok v -> f v | Error e -> Fail ("pipelined: " ^ e) in
+                let* r1 = exactly_one "id 1" (with_id 1) in
+                let* r3 = exactly_one "id 3" (with_id 3) in
+                let* r4 = exactly_one "id 4" (with_id 4) in
+                let* r6 = exactly_one "id 6" (with_id 6) in
+                all_of
+                  [
+                    (fun () -> check_sizing_reply ~what:"pipelined id 1" ~expected r1);
+                    (fun () -> check_sizing_reply ~what:"pipelined id 6" ~expected r6);
+                    (fun () ->
+                      if status_of r3 = "error" && error_kind_of r3 = "bad_request" then Pass
+                      else failf "unknown op: want error/bad_request, got %s/%s" (status_of r3)
+                          (error_kind_of r3));
+                    (fun () ->
+                      if status_of r4 = "degraded" then Pass
+                      else failf "deadline-zero: want status degraded, got %s" (status_of r4));
+                    (fun () ->
+                      (* Malformed and oversized both answer with id null;
+                         order depends on framing, so check the multiset. *)
+                      let kinds = List.sort String.compare (List.map error_kind_of null_id) in
+                      if kinds = [ "bad_request"; "oversized" ] then Pass
+                      else
+                        failf "null-id replies: want [bad_request; oversized], got [%s]"
+                          (String.concat "; " kinds));
+                  ]))
+
+(* Separate connections from separate domains, all in flight at once:
+   every client must get the same bytes the library gives. *)
+let concurrent_clients c socket expected =
+  let one i =
+    match Serve.request ~socket (size_request ~id:(100 + i) c) with
+    | Error e -> failf "concurrent client %d: %s" i e
+    | Ok reply -> check_sizing_reply ~what:(Printf.sprintf "concurrent client %d" i) ~expected reply
+  in
+  let domains = Array.init 2 (fun i -> Domain.spawn (fun () -> one i)) in
+  let verdicts = Array.to_list (Array.map Domain.join domains) in
+  all_of (List.map (fun v () -> v) verdicts)
+
+(* Under BUFSIZE_CHAOS=1, crash a handler on purpose: the reply must be a
+   typed internal_error and the server must still answer afterwards. *)
+let chaos_probe c socket expected =
+  if not (Serve.chaos_enabled ()) then Pass
+  else
+    let crash =
+      Json.Obj
+        [ ("id", Json.Num 7.); ("op", Json.Str "chaos"); ("fault", Json.Str "raise") ]
+    in
+    match Serve.request ~socket crash with
+    | Error e -> failf "chaos crash request: %s" e
+    | Ok reply ->
+        all_of
+          [
+            (fun () ->
+              if status_of reply = "error" && error_kind_of reply = "internal_error" then Pass
+              else
+                failf "chaos crash: want error/internal_error, got %s/%s" (status_of reply)
+                  (error_kind_of reply));
+            (fun () ->
+              match Serve.request ~socket (size_request ~id:8 c) with
+              | Error e -> failf "after chaos crash: %s" e
+              | Ok r -> check_sizing_reply ~what:"after chaos crash" ~expected r);
+          ]
+
+let check_serve_case c =
+  match expected_result c with
+  | Error e -> Fail e
+  | Ok expected ->
+      let server = Serve.start ~config:(oracle_config ()) () in
+      let socket = Serve.socket_path server in
+      Fun.protect
+        ~finally:(fun () -> Serve.stop server)
+        (fun () ->
+          all_of
+            [
+              (fun () -> pipelined_batch c socket expected);
+              (fun () -> concurrent_clients c socket expected);
+              (fun () -> chaos_probe c socket expected);
+              (fun () ->
+                (* Survival: the server still answers ping at the end. *)
+                match
+                  Serve.request ~socket (Json.Obj [ ("op", Json.Str "ping") ])
+                with
+                | Error e -> failf "final ping: %s" e
+                | Ok reply ->
+                    if status_of reply = "ok" then Pass
+                    else failf "final ping: status %s" (status_of reply));
+            ])
+
+let serve_label c =
+  Printf.sprintf "serve: %d-byte spec, budget %d, max_states %d" (String.length c.sv_text)
+    c.sv_budget c.sv_max_states
+
+let case ~text ~budget ~max_states ~seed =
+  let c = { sv_text = text; sv_budget = budget; sv_max_states = max_states; sv_seed = seed } in
+  {
+    label = serve_label c;
+    repro =
+      Printf.sprintf "# oracle: serve\n# serve cross-check: budget %d words, max_states %d, seed %d\n%s"
+        c.sv_budget c.sv_max_states c.sv_seed c.sv_text;
+    check = (fun () -> check_serve_case c);
+    (* A serve case has no structural shrink: the batch is fixed and the
+       architecture only parameterizes the payload (chaos precedent). *)
+    shrink = (fun () -> []);
+  }
+
+let oracle =
+  {
+    name = "serve";
+    doc = "daemon replies typed, exactly-once, and bitwise-equal to direct library calls";
+    generate =
+      (fun ~max_states rng ->
+        let topology, traffic = Gen_model.arch rng in
+        let nclients = Splitting.total_clients (Splitting.split traffic) in
+        let budget = nclients * (2 + Rng.int rng 3) in
+        case
+          ~text:(Spec_parser.to_string topology traffic)
+          ~budget
+          ~max_states:(Int.max 8 (Int.min max_states 24))
+          ~seed:(1 + Rng.int rng 1_000_000));
+  }

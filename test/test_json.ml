@@ -1,180 +1,5 @@
-(* A minimal strict JSON parser for test assertions (trace / health /
-   metrics round-trips).  Test-only: the production code hand-writes its
-   JSON and must stay dependency-free, so the checks parse it back here
-   rather than trusting substring matching. *)
+(* The strict JSON parser the assertions here use lives in the library
+   now (the sizing service parses requests with it); this alias keeps the
+   test modules' [Test_json.parse] call sites stable. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-exception Bad of string
-
-let parse (s : string) : (t, string) result =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some d when d = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let literal word v =
-    let m = String.length word in
-    if !pos + m <= n && String.sub s !pos m = word then begin
-      pos := !pos + m;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_hex4 () =
-    if !pos + 4 > n then fail "truncated \\u escape";
-    let h = String.sub s !pos 4 in
-    pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some c -> c
-    | None -> fail "bad \\u escape"
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          (match peek () with
-          | Some '"' -> Buffer.add_char b '"'
-          | Some '\\' -> Buffer.add_char b '\\'
-          | Some '/' -> Buffer.add_char b '/'
-          | Some 'b' -> Buffer.add_char b '\b'
-          | Some 'f' -> Buffer.add_char b '\012'
-          | Some 'n' -> Buffer.add_char b '\n'
-          | Some 'r' -> Buffer.add_char b '\r'
-          | Some 't' -> Buffer.add_char b '\t'
-          | Some 'u' ->
-              advance ();
-              let c = parse_hex4 () in
-              (* Tests only emit code points below 0x80 via \u, so a raw
-                 byte is enough here. *)
-              if c < 0x80 then Buffer.add_char b (Char.chr c)
-              else Buffer.add_string b (Printf.sprintf "\\u%04X" c);
-              pos := !pos - 1
-          | _ -> fail "bad escape");
-          advance ();
-          loop ())
-      | Some c ->
-          Buffer.add_char b c;
-          advance ();
-          loop ()
-    in
-    loop ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let num_char c =
-      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-    in
-    while (match peek () with Some c -> num_char c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev ((k, v) :: acc)
-            | _ -> fail "expected , or }"
-          in
-          Obj (members [])
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (v :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail "expected , or ]"
-          in
-          List (elements [])
-        end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-  in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-  with
-  | v -> Ok v
-  | exception Bad msg -> Error msg
-
-let parse_exn s = match parse s with Ok v -> v | Error e -> failwith ("bad JSON: " ^ e)
-
-(* ------------------------------------------------------- accessors *)
-
-let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
-
-let member_exn k v =
-  match member k v with
-  | Some x -> x
-  | None -> failwith (Printf.sprintf "missing member %S" k)
-
-let to_string = function Str s -> s | _ -> failwith "expected a string"
-let to_number = function Num f -> f | _ -> failwith "expected a number"
-let to_list = function List l -> l | _ -> failwith "expected an array"
-let to_bool = function Bool b -> b | _ -> failwith "expected a bool"
+include Bufsize_json.Json

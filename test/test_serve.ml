@@ -1,0 +1,335 @@
+(* Tests for the sizing daemon: lifecycle and liveness, bitwise parity
+   between daemon replies and direct library calls, the typed error
+   taxonomy (bad_request / oversized / overloaded / internal_error),
+   deadline-zero degradation, crash isolation, admission control with
+   retry recovery, and concurrent clients. *)
+
+module Serve = Bufsize_serve.Serve
+module Json = Bufsize_json.Json
+module Sizing = Bufsize_soc.Sizing
+module Spec_parser = Bufsize_soc.Spec_parser
+
+(* A tiny two-bus architecture so every solve is milliseconds. *)
+let spec_text =
+  "bus a rate 8.0\n\
+   bus b rate 8.0\n\
+   proc p on a\n\
+   proc q on b\n\
+   bridge br a b\n\
+   flow p -> q rate 1.0\n\
+   flow q -> p rate 0.5\n"
+
+let budget = 8
+let max_states = 16
+
+let expected_result () =
+  match Spec_parser.parse spec_text with
+  | Error e -> Alcotest.failf "spec did not parse: %s" e
+  | Ok (_, traffic) ->
+      let config = { (Sizing.default_config ~budget) with Sizing.max_states } in
+      Json.encode (Serve.sizing_core_json traffic (Sizing.run config traffic))
+
+let size_request ~id =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int id));
+      ("op", Json.Str "size");
+      ("spec", Json.Str spec_text);
+      ("budget", Json.Num (float_of_int budget));
+      ("max_states", Json.Num (float_of_int max_states));
+    ]
+
+let test_config () =
+  {
+    Serve.socket_path = Serve.temp_socket_path ();
+    queue_depth = 16;
+    workers = 2;
+    default_deadline_ms = 0.;
+    max_request_bytes = 512;
+  }
+
+let with_server ?config f =
+  let cfg = match config with Some c -> c | None -> test_config () in
+  let t = Serve.start ~config:cfg () in
+  Fun.protect ~finally:(fun () -> Serve.stop t) (fun () -> f t)
+
+let status r = Option.value ~default:"<none>" (Json.mem_string "status" r)
+let error_kind r = Option.value ~default:"<none>" (Option.bind (Json.member "error" r) (Json.mem_string "kind"))
+let result_str r = Json.encode (Json.member_exn "result" r)
+
+let ok_reply what = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s failed: %s" what e
+
+(* Send raw lines over one connection and read [n] newline-terminated
+   replies — for malformed / pipelined traffic the typed client cannot
+   produce. *)
+let raw_exchange ~socket lines n =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
+      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let b = Bytes.of_string payload in
+      let rec send off =
+        if off < Bytes.length b then
+          send (off + Unix.write fd b off (Bytes.length b - off))
+      in
+      send 0;
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 4096 in
+      let newlines () =
+        String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 (Buffer.contents buf)
+      in
+      while newlines () < n do
+        let r = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if r = 0 then Alcotest.fail "connection closed before all replies arrived";
+        Buffer.add_subbytes buf chunk 0 r
+      done;
+      Buffer.contents buf |> String.split_on_char '\n'
+      |> List.filter (fun s -> s <> "")
+      |> List.map Json.parse_exn)
+
+(* Test-only ops: [block] parks a worker until released (to fill the
+   queue deterministically), [boom] crashes (to exercise isolation). *)
+let block_m = Mutex.create ()
+let block_cv = Condition.create ()
+let block_released = ref false
+let block_started = Atomic.make 0
+
+let () =
+  Serve.register_op "block" (fun ~deadline:_ _ ->
+      Atomic.incr block_started;
+      Mutex.lock block_m;
+      while not !block_released do
+        Condition.wait block_cv block_m
+      done;
+      Mutex.unlock block_m;
+      Serve.Reply_ok [ ("blocked", Json.Bool true) ]);
+  Serve.register_op "boom" (fun ~deadline:_ _ -> failwith "injected test crash")
+
+let release_blocks () =
+  Mutex.lock block_m;
+  block_released := true;
+  Condition.broadcast block_cv;
+  Mutex.unlock block_m
+
+let reset_blocks () =
+  Mutex.lock block_m;
+  block_released := false;
+  Mutex.unlock block_m;
+  Atomic.set block_started 0
+
+let wait_for_block_started count =
+  let rec go tries =
+    if Atomic.get block_started < count then begin
+      if tries > 1000 then Alcotest.fail "worker never picked up the block request";
+      Unix.sleepf 0.01;
+      go (tries + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------- tests *)
+
+let test_lifecycle () =
+  let cfg = test_config () in
+  let t = Serve.start ~config:cfg () in
+  let reply =
+    ok_reply "ping" (Serve.request ~socket:cfg.Serve.socket_path (Json.Obj [ ("op", Json.Str "ping") ]))
+  in
+  Alcotest.(check string) "ping ok" "ok" (status reply);
+  let ops =
+    Json.member_exn "ops" reply |> Json.to_list |> List.map Json.to_string
+  in
+  Alcotest.(check bool) "ops lists ping" true (List.mem "ping" ops);
+  Alcotest.(check bool) "ops lists size" true (List.mem "size" ops);
+  Serve.stop t;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists cfg.Serve.socket_path);
+  Serve.stop t
+
+let test_size_bitwise () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      let reply = ok_reply "size" (Serve.request ~socket (size_request ~id:1)) in
+      Alcotest.(check string) "status ok" "ok" (status reply);
+      Alcotest.(check string) "id echoed" "1" (Json.encode (Json.member_exn "id" reply));
+      Alcotest.(check string) "bitwise vs direct Sizing.run" (expected_result ()) (result_str reply))
+
+let test_typed_errors () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      let oversized_line =
+        Printf.sprintf {|{"id":5,"op":"size","pad":%S}|} (String.make 600 'x')
+      in
+      let replies =
+        raw_exchange ~socket
+          [ {|{"id":1,|}; {|{"id":2,"op":"nope"}|}; oversized_line ]
+          3
+      in
+      match replies with
+      | [ r1; r2; r3 ] ->
+          Alcotest.(check string) "malformed is error" "error" (status r1);
+          Alcotest.(check string) "malformed kind" "bad_request" (error_kind r1);
+          Alcotest.(check string) "malformed id null" "null" (Json.encode (Json.member_exn "id" r1));
+          Alcotest.(check string) "unknown op is error" "error" (status r2);
+          Alcotest.(check string) "unknown op kind" "bad_request" (error_kind r2);
+          Alcotest.(check string) "unknown op id echoed" "2" (Json.encode (Json.member_exn "id" r2));
+          Alcotest.(check string) "oversized kind" "oversized" (error_kind r3);
+          Alcotest.(check string) "oversized id null" "null" (Json.encode (Json.member_exn "id" r3))
+      | rs -> Alcotest.failf "expected 3 replies, got %d" (List.length rs))
+
+let test_deadline_zero () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      let req =
+        match size_request ~id:4 with
+        | Json.Obj kvs -> Json.Obj (kvs @ [ ("deadline_ms", Json.Num 0.) ])
+        | _ -> assert false
+      in
+      let reply = ok_reply "deadline-zero size" (Serve.request ~socket req) in
+      Alcotest.(check string) "degraded" "degraded" (status reply);
+      let reason = Option.value ~default:"" (Json.mem_string "reason" reply) in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "reason mentions the deadline (%S)" reason)
+        true (contains reason "deadline"))
+
+let test_crash_isolation () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      let boom =
+        ok_reply "boom" (Serve.request ~socket (Json.Obj [ ("id", Json.Num 7.); ("op", Json.Str "boom") ]))
+      in
+      Alcotest.(check string) "boom is error" "error" (status boom);
+      Alcotest.(check string) "boom kind" "internal_error" (error_kind boom);
+      let after = ok_reply "size after crash" (Serve.request ~socket (size_request ~id:8)) in
+      Alcotest.(check string) "server survived" "ok" (status after);
+      Alcotest.(check string) "answer still bitwise" (expected_result ()) (result_str after))
+
+let test_overload_and_retry () =
+  reset_blocks ();
+  let cfg = { (test_config ()) with Serve.queue_depth = 1; workers = 1 } in
+  with_server ~config:cfg (fun t ->
+      let socket = Serve.socket_path t in
+      Fun.protect ~finally:release_blocks (fun () ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_UNIX socket);
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
+              let send s =
+                let b = Bytes.of_string s in
+                let rec go off =
+                  if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+                in
+                go 0
+              in
+              let read_reply =
+                let buf = Buffer.create 256 in
+                fun () ->
+                  let chunk = Bytes.create 4096 in
+                  let line_done () = String.contains (Buffer.contents buf) '\n' in
+                  while not (line_done ()) do
+                    let r = Unix.read fd chunk 0 (Bytes.length chunk) in
+                    if r = 0 then Alcotest.fail "connection closed mid-test";
+                    Buffer.add_subbytes buf chunk 0 r
+                  done;
+                  let s = Buffer.contents buf in
+                  let i = String.index s '\n' in
+                  Buffer.clear buf;
+                  Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+                  Json.parse_exn (String.sub s 0 i)
+              in
+              (* Park the single worker, then fill the one queue slot and
+                 pipeline a size request behind it — per-connection line
+                 ordering guarantees the size request sees a full queue. *)
+              send {|{"id":1,"op":"block"}|};
+              send "\n";
+              wait_for_block_started 1;
+              send ({|{"id":2,"op":"block"}|} ^ "\n"
+                   ^ Json.encode (size_request ~id:3) ^ "\n");
+              let rejected = read_reply () in
+              Alcotest.(check string) "rejected id" "3" (Json.encode (Json.member_exn "id" rejected));
+              Alcotest.(check string) "rejected status" "error" (status rejected);
+              Alcotest.(check string) "rejected kind" "overloaded" (error_kind rejected);
+              let hint =
+                Option.value ~default:(-1.)
+                  (Option.bind (Json.member "error" rejected) (Json.mem_number "retry_after_ms"))
+              in
+              Alcotest.(check bool) "retry-after hint present" true (hint >= 1.);
+              (* Liveness: ping is answered inline even with the worker
+                 parked and the queue full. *)
+              let ping =
+                ok_reply "ping under load" (Serve.request ~socket (Json.Obj [ ("op", Json.Str "ping") ]))
+              in
+              Alcotest.(check string) "ping ok under load" "ok" (status ping);
+              (* Retry recovers once the congestion clears. *)
+              let releaser =
+                Domain.spawn (fun () ->
+                    Unix.sleepf 0.02;
+                    release_blocks ())
+              in
+              let retried =
+                ok_reply "retried size"
+                  (Serve.request_with_retry ~attempts:50 ~base_delay_ms:10. ~seed:7 ~socket
+                     (size_request ~id:9))
+              in
+              Domain.join releaser;
+              Alcotest.(check string) "retry recovered" "ok" (status retried);
+              Alcotest.(check string) "retried answer bitwise" (expected_result ())
+                (result_str retried);
+              (* The parked requests were drained, not dropped. *)
+              let b1 = read_reply () and b2 = read_reply () in
+              let ids = List.sort compare [ Json.encode (Json.member_exn "id" b1);
+                                            Json.encode (Json.member_exn "id" b2) ] in
+              Alcotest.(check (list string)) "both blocks replied" [ "1"; "2" ] ids;
+              Alcotest.(check string) "block 1 ok" "ok" (status b1);
+              Alcotest.(check string) "block 2 ok" "ok" (status b2))))
+
+let test_concurrent_bitwise () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      let expected = expected_result () in
+      let domains =
+        Array.init 4 (fun i ->
+            Domain.spawn (fun () -> Serve.request ~socket (size_request ~id:(10 + i))))
+      in
+      Array.iteri
+        (fun i d ->
+          let reply = ok_reply (Printf.sprintf "client %d" i) (Domain.join d) in
+          Alcotest.(check string) (Printf.sprintf "client %d ok" i) "ok" (status reply);
+          Alcotest.(check string)
+            (Printf.sprintf "client %d id" i)
+            (string_of_int (10 + i))
+            (Json.encode (Json.member_exn "id" reply));
+          Alcotest.(check string) (Printf.sprintf "client %d bitwise" i) expected (result_str reply))
+        domains)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "start, ping, stop, unlink" `Quick test_lifecycle;
+          Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "size bitwise vs library" `Quick test_size_bitwise;
+          Alcotest.test_case "concurrent clients bitwise" `Quick test_concurrent_bitwise;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "typed errors" `Quick test_typed_errors;
+          Alcotest.test_case "deadline zero" `Quick test_deadline_zero;
+          Alcotest.test_case "overload and retry" `Quick test_overload_and_retry;
+        ] );
+    ]

@@ -802,6 +802,43 @@ let test_spec_grid_errors () =
   expect_error "line 1: unknown bus \"nowhere\"" "shared_buffer nowhere";
   expect_error "line 1: mesh rate must be positive" "mesh m rows 2 cols 2 rate -1"
 
+(* Adversarial-input caps: each resource bound fires as a line-numbered
+   error, cheaply, instead of an allocation storm. *)
+let test_spec_parser_caps () =
+  expect_error "exceeds the cap" (String.make ((1 lsl 20) + 1) 'a');
+  expect_error "line 2: 5004 bytes exceeds the cap of 4096"
+    ("bus a\nbus " ^ String.make 5000 'b');
+  expect_error "line 1: token of 300 bytes exceeds the cap of 256"
+    ("bus " ^ String.make 300 'b');
+  expect_error "line 1: mesh declares 10000 cells, more than the cap of 4096"
+    "mesh m rows 100 cols 100";
+  expect_error "line 1: torus declares 8192 cells" "torus t rows 2 cols 4096";
+  let flood =
+    String.concat "\n" (List.init 4200 (fun i -> Printf.sprintf "bus b%d" i))
+  in
+  expect_error "more than 4096 statements" flood;
+  (* At the caps, parsing still works. *)
+  match Spec_parser.parse ("bus a\nproc p on a\nproc q on a\nflow p -> q rate 1.\n# "
+                           ^ String.make 4000 'x') with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "cap-sized comment should parse: %s" e
+
+(* Fuzz: the parser must classify, never crash — on arbitrary bytes and
+   on valid specs truncated mid-text (a daemon client dying mid-send). *)
+let test_spec_parser_fuzz () =
+  let arb_bytes =
+    QCheck.make ~print:String.escaped
+      QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 400))
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"random bytes never crash" arb_bytes (fun text ->
+         match Spec_parser.parse text with Ok _ | Error _ -> true));
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"truncated valid specs never crash"
+       Bufsize_verify_qcheck.Verify_arbitrary.spec_text (fun (seed, text) ->
+         let cut = abs seed mod (String.length text + 1) in
+         match Spec_parser.parse (String.sub text 0 cut) with Ok _ | Error _ -> true))
+
 (* Round-trip property over random generated architectures: to_string
    output re-parses to an architecture with identical shape and load. *)
 let test_spec_roundtrip_property () =
@@ -982,6 +1019,8 @@ let () =
           Alcotest.test_case "grid stanza errors" `Quick test_spec_grid_errors;
           Alcotest.test_case "grid roundtrip (property)" `Quick
             test_spec_grid_roundtrip_property;
+          Alcotest.test_case "adversarial caps" `Quick test_spec_parser_caps;
+          Alcotest.test_case "fuzz never crashes" `Quick test_spec_parser_fuzz;
         ] );
       ( "dot",
         [

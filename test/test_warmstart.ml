@@ -219,6 +219,38 @@ let test_canonical_distinguishes () =
   Alcotest.(check bool) "one-ulp rhs difference changes the key" true
     (Lp.canonical lp <> Lp.canonical other)
 
+(* Hammer one cache from several domains at once.  The invariants: a hit
+   never returns a value that disagrees with the key it was stored under,
+   the hit/miss counters account for every find exactly once, and
+   concurrent inserts never push the table past its capacity. *)
+let test_cache_concurrent_stress () =
+  with_clean_globals (fun () ->
+      Solve_cache.set_enabled true;
+      let capacity = 32 in
+      let c : int Solve_cache.t = Solve_cache.create ~capacity "stress" in
+      let finds = Atomic.make 0 and wrong = Atomic.make 0 in
+      let pool = Pool.create ~oversubscribe:true 4 in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          ignore
+            (Pool.map_array ~pool ~chunk:1
+               (fun d ->
+                 let rng = Random.State.make [| 42 + d |] in
+                 for _ = 1 to 2000 do
+                   let k = Random.State.int rng 64 in
+                   let key = Printf.sprintf "key-%d" k in
+                   (match Solve_cache.find c key with
+                   | Some v -> if v <> k then Atomic.incr wrong
+                   | None -> Solve_cache.add c key k);
+                   Atomic.incr finds
+                 done)
+               [| 0; 1; 2; 3 |]));
+      Alcotest.(check int) "no torn values" 0 (Atomic.get wrong);
+      Alcotest.(check int) "hits + misses = find calls" (Atomic.get finds)
+        (Solve_cache.hits c + Solve_cache.misses c);
+      Alcotest.(check bool) "never past capacity" true (Solve_cache.length c <= capacity))
+
 (* ------------------------------------------------------------------ ctmc *)
 
 let ring_rates = [ (0, 1, 2.); (1, 2, 1.5); (2, 0, 0.75); (0, 2, 0.25) ]
@@ -309,6 +341,7 @@ let () =
           Alcotest.test_case "disabled mode" `Quick test_cache_disabled;
           Alcotest.test_case "lp result cache" `Quick test_lp_result_cache;
           Alcotest.test_case "canonical key" `Quick test_canonical_distinguishes;
+          Alcotest.test_case "concurrent stress" `Quick test_cache_concurrent_stress;
         ] );
       ( "ctmc-incremental",
         [
