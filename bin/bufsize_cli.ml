@@ -603,7 +603,16 @@ let serve_cmd =
     let doc = "Longest accepted request line in bytes." in
     Arg.(value & opt (some int) None & info [ "max-request" ] ~docv:"BYTES" ~doc)
   in
-  let run socket queue workers deadline max_request trace metrics metrics_json =
+  let flight_cap_arg =
+    let doc = "Flight-recorder capacity: completed requests remembered for crash dumps." in
+    Arg.(value & opt (some int) None & info [ "flight-cap" ] ~docv:"N" ~doc)
+  in
+  let log_requests_arg =
+    let doc = "Write one structured JSONL line per completed request to stderr." in
+    Arg.(value & flag & info [ "log-requests" ] ~doc)
+  in
+  let run socket queue workers deadline max_request flight_cap log_requests trace metrics
+      metrics_json =
     setup_telemetry trace metrics metrics_json;
     let base = B.Serve.config_of_env () in
     let config =
@@ -613,6 +622,8 @@ let serve_cmd =
         workers = Option.value ~default:base.B.Serve.workers workers;
         default_deadline_ms = Option.value ~default:base.B.Serve.default_deadline_ms deadline;
         max_request_bytes = Option.value ~default:base.B.Serve.max_request_bytes max_request;
+        flight_cap = Option.value ~default:base.B.Serve.flight_cap flight_cap;
+        log_requests = log_requests || base.B.Serve.log_requests;
       }
     in
     let server = B.Serve.start ~config () in
@@ -626,7 +637,17 @@ let serve_cmd =
       (fun signum ->
         Sys.set_signal signum (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)))
       [ Sys.sigint; Sys.sigterm ];
+    (* SIGUSR1 dumps the flight recorder without disturbing service.  The
+       handler only sets a flag; the wait loop does the file IO, because
+       a signal handler must not take the locks a dump walks through. *)
+    let dump_requested = Atomic.make false in
+    Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true));
     while not (Atomic.get stop_requested) do
+      if Atomic.compare_and_set dump_requested true false then begin
+        match B.Serve.dump_flight server with
+        | path -> Format.eprintf "bufsize serve: flight recorder dumped to %s@." path
+        | exception Sys_error msg -> Format.eprintf "bufsize serve: flight dump failed: %s@." msg
+      end;
       (try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ())
     done;
     Format.eprintf "bufsize serve: draining and shutting down@.";
@@ -637,7 +658,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ queue_arg $ workers_arg $ deadline_arg $ max_request_arg
-      $ trace_arg $ metrics_arg $ metrics_json_arg)
+      $ flight_cap_arg $ log_requests_arg $ trace_arg $ metrics_arg $ metrics_json_arg)
 
 let request_cmd =
   let op_arg =
@@ -660,7 +681,22 @@ let request_cmd =
     let doc = "Total tries under connection failure or overloaded rejection." in
     Arg.(value & opt int 6 & info [ "attempts" ] ~docv:"N" ~doc)
   in
-  let run socket raw op arch file budget max_states id deadline attempts seed =
+  let telemetry_arg =
+    let doc =
+      "Ask the daemon to attach per-request telemetry (spans, solver diagnostics, cache deltas, \
+       queue/service latency) to the reply."
+    in
+    Arg.(value & flag & info [ "telemetry" ] ~doc)
+  in
+  let prometheus_arg =
+    let doc =
+      "With $(b,--op metrics): request Prometheus text exposition and print it raw (for piping \
+       into a scrape file)."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
+  let run socket raw op arch file budget max_states id deadline attempts seed telemetry
+      prometheus =
     install_exit_on_signals ();
     let socket =
       match socket with
@@ -696,14 +732,20 @@ let request_cmd =
                 ("budget", B.Json.Num (float_of_int budget));
                 ("max_states", B.Json.Num (float_of_int max_states));
               ]
-            @ match deadline with None -> [] | Some ms -> [ ("deadline_ms", B.Json.Num ms) ])
+            @ (match deadline with None -> [] | Some ms -> [ ("deadline_ms", B.Json.Num ms) ])
+            @ (if telemetry then [ ("telemetry", B.Json.Bool true) ] else [])
+            @ if prometheus then [ ("prometheus", B.Json.Bool true) ] else [])
     in
     match B.Serve.request_with_retry ~attempts ?seed ~socket req with
     | Error e ->
         Format.eprintf "error: %s@." e;
         exit 2
     | Ok reply -> (
-        print_endline (B.Json.encode reply);
+        (* A Prometheus-format metrics reply carries the exposition as a
+           JSON string; print it raw so the output is scrapeable as-is. *)
+        (match (prometheus, B.Json.member "text" reply, B.Json.mem_string "status" reply) with
+        | true, Some (B.Json.Str text), Some ("ok" | "degraded") -> print_string text
+        | _ -> print_endline (B.Json.encode reply));
         match B.Json.mem_string "status" reply with
         | Some ("ok" | "degraded") -> exit 0
         | Some _ | None -> exit 1)
@@ -720,7 +762,8 @@ let request_cmd =
   Cmd.v (Cmd.info "request" ~doc)
     Term.(
       const run $ socket_arg $ raw_arg $ op_arg $ arch_arg $ file_arg $ budget_arg
-      $ max_states_arg $ id_arg $ deadline_arg $ attempts_arg $ seed_opt_arg)
+      $ max_states_arg $ id_arg $ deadline_arg $ attempts_arg $ seed_opt_arg $ telemetry_arg
+      $ prometheus_arg)
 
 (* ----------------------------------------------------------- experiment *)
 

@@ -175,6 +175,10 @@ let run_items ?chunk pool f n =
          context here and restoring it around each item parents them
          correctly (and costs nothing when tracing is off). *)
       let ctx = Bufsize_obs.Obs.current_context () in
+      (* The caller may be inside a per-request telemetry capture; its
+         sink travels with the job the same way the span parent does, so
+         spans from pooled items land in the request's subtree. *)
+      let snk = Bufsize_obs.Obs.current_sink () in
       (* Likewise for the ambient solve deadline: it is domain-local, so a
          worker domain would otherwise run the caller's items with no
          deadline at all and a budget-bounded solve could overrun by
@@ -187,7 +191,10 @@ let run_items ?chunk pool f n =
       in
       let guarded i =
         if Atomic.get error = None then
-          try with_ambient (fun () -> Bufsize_obs.Obs.with_context ctx (fun () -> f i))
+          try
+            with_ambient (fun () ->
+                Bufsize_obs.Obs.with_sink snk (fun () ->
+                    Bufsize_obs.Obs.with_context ctx (fun () -> f i)))
           with e -> ignore (Atomic.compare_and_set error None (Some e))
       in
       let job =

@@ -338,6 +338,45 @@ let health_to_json (h : health) =
             Printf.sprintf "{\"label\":\"%s\",\"diagnostic\":%s}" (json_escape label) (to_json d))
           h))
 
+(* Structured variants of [to_json]/[health_to_json]: the serve layer
+   embeds diagnostics inside larger reply objects, and building the tree
+   directly beats printing and re-parsing.  [Json.encode] of these
+   values is byte-identical to the strings above (its number printer
+   collapses integer-valued floats to %.0f and both print non-integers
+   with %.17g; NaN residuals encode as null either way). *)
+let diagnostic_json d : Bufsize_json.Json.t =
+  let module J = Bufsize_json.Json in
+  let status, reason =
+    match d.status with
+    | Ok -> ("ok", None)
+    | Degraded r -> ("degraded", Some r)
+    | Failed r -> ("failed", Some r)
+  in
+  J.Obj
+    [
+      ("solver", J.Str d.solver);
+      ("status", J.Str status);
+      ("reason", match reason with None -> J.Null | Some r -> J.Str r);
+      ("iterations", J.Num (float_of_int d.iterations));
+      ("residual", J.Num d.residual);
+      ("wall_ms", J.Num d.wall_ms);
+      ("fallbacks", J.List (List.map (fun f -> J.Str f) d.fallbacks));
+      ("span", if d.span_id = 0 then J.Null else J.Num (float_of_int d.span_id));
+    ]
+
+let health_json (h : health) : Bufsize_json.Json.t =
+  let module J = Bufsize_json.Json in
+  J.Obj
+    [
+      ("ok", J.Bool (health_ok h));
+      ( "diagnostics",
+        J.List
+          (List.map
+             (fun (label, d) ->
+               J.Obj [ ("label", J.Str label); ("diagnostic", diagnostic_json d) ])
+             h) );
+    ]
+
 (* ----------------------------------------------------------- finiteness *)
 
 (* The "no NaN/Inf in a claimed-feasible solution" guard used by the

@@ -15,24 +15,48 @@ external now_ns : unit -> int64 = "bufsize_obs_now_ns"
 
 (* ------------------------------------------------------------ enabling *)
 
+(* [spans_on] is the single switch the hot path reads.  It is the OR of
+   two slow-path inputs: the user-facing enable (BUFSIZE_TRACE and
+   friends) and a refcount of live per-request captures (see the capture
+   section below) — a telemetry-enabled request must make [span] record
+   even when global tracing is off.  Both inputs change only under
+   [enable_m]; the hot path still pays one atomic load. *)
 let spans_on = Atomic.make false
 let metrics_on = Atomic.make false
 
-let spans_enabled () = Atomic.get spans_on
+(* User tracing routes spans to the per-domain buffers; captures route
+   them to their sink only.  The buffer path therefore checks this
+   second atomic so a daemon serving telemetry requests does not slowly
+   fill (and then permanently saturate) the global span buffers. *)
+let user_spans_on = Atomic.make false
+
+let enable_m = Mutex.create ()
+let captures_live = ref 0
+
+let spans_enabled () = Atomic.get user_spans_on
 let metrics_enabled () = Atomic.get metrics_on
 
 (* Trace epoch: exported timestamps are relative to the last
    [enable_spans] so traces start near t=0. *)
 let epoch_ns = Atomic.make 0L
 
+let recompute_spans_on () =
+  Atomic.set spans_on (Atomic.get user_spans_on || !captures_live > 0)
+
 let enable_spans () =
+  Mutex.lock enable_m;
   Atomic.set epoch_ns (now_ns ());
-  Atomic.set spans_on true
+  Atomic.set user_spans_on true;
+  recompute_spans_on ();
+  Mutex.unlock enable_m
 
 let enable_metrics () = Atomic.set metrics_on true
 
 let disable () =
-  Atomic.set spans_on false;
+  Mutex.lock enable_m;
+  Atomic.set user_spans_on false;
+  recompute_spans_on ();
+  Mutex.unlock enable_m;
   Atomic.set metrics_on false
 
 (* ------------------------------------------------------------- spans *)
@@ -48,14 +72,31 @@ type span_record = {
   sattrs : (string * string) list;
 }
 
+(* A capture sink: the per-request span collector.  One request installs
+   a sink on its worker domain (and, via the pool's context propagation,
+   on every domain that runs work for it); spans closing under the sink
+   are appended here instead of — or in addition to — the global
+   per-domain buffers.  The mutex is uncontended except when a pooled
+   solve fans one request across domains, which is exactly when
+   correctness needs it. *)
+type sink = {
+  k_m : Mutex.t;
+  mutable k_spans : span_record list;  (* newest first *)
+  k_cap : int;
+  mutable k_n : int;
+  mutable k_dropped : int;
+}
+
 (* Per-domain span state.  Mutated only by the owning domain; the
    exporter reads it when the pipeline is quiescent (end of run). *)
 type dstate = {
   did : int;
   mutable open_ : int list;  (* ids of open spans, innermost first *)
   mutable ctx : int;  (* propagated parent used when [open_] is empty *)
+  mutable sink_ : sink option;  (* live capture on this domain, if any *)
   mutable completed : span_record list;  (* newest first *)
   mutable nspans : int;
+  mutable hwm : int;  (* high-water mark of [nspans] since the last reset *)
   mutable dropped : int;
 }
 
@@ -71,8 +112,10 @@ let dstate_key =
           did = (Domain.self () :> int);
           open_ = [];
           ctx = 0;
+          sink_ = None;
           completed = [];
           nspans = 0;
+          hwm = 0;
           dropped = 0;
         }
       in
@@ -97,10 +140,11 @@ let record_span attrs name f =
       let t1 = now_ns () in
       let w1 = Gc.minor_words () in
       (match ds.open_ with _ :: tl -> ds.open_ <- tl | [] -> ());
-      if ds.nspans >= max_spans_per_domain then ds.dropped <- ds.dropped + 1
-      else begin
+      let to_buffer = Atomic.get user_spans_on in
+      let to_sink = ds.sink_ in
+      if to_buffer || to_sink <> None then begin
         let sattrs = match attrs with None -> [] | Some g -> ( try g () with _ -> []) in
-        ds.completed <-
+        let r =
           {
             sid = id;
             sparent = parent;
@@ -111,8 +155,25 @@ let record_span attrs name f =
             salloc_minor_w = w1 -. w0;
             sattrs;
           }
-          :: ds.completed;
-        ds.nspans <- ds.nspans + 1
+        in
+        (match to_sink with
+        | None -> ()
+        | Some k ->
+            Mutex.lock k.k_m;
+            if k.k_n >= k.k_cap then k.k_dropped <- k.k_dropped + 1
+            else begin
+              k.k_spans <- r :: k.k_spans;
+              k.k_n <- k.k_n + 1
+            end;
+            Mutex.unlock k.k_m);
+        if to_buffer then begin
+          if ds.nspans >= max_spans_per_domain then ds.dropped <- ds.dropped + 1
+          else begin
+            ds.completed <- r :: ds.completed;
+            ds.nspans <- ds.nspans + 1;
+            if ds.nspans > ds.hwm then ds.hwm <- ds.nspans
+          end
+        end
       end)
     (fun () -> f id)
 
@@ -150,6 +211,60 @@ let dropped_spans () =
   Mutex.unlock registry_m;
   List.fold_left (fun acc ds -> acc + ds.dropped) 0 states
 
+let span_high_water () =
+  Mutex.lock registry_m;
+  let states = !registry in
+  Mutex.unlock registry_m;
+  List.fold_left (fun acc ds -> Int.max acc ds.hwm) 0 states
+
+(* ----------------------------------------------------------- capture *)
+
+type capture_sink = sink option
+
+let capture_begin () =
+  Mutex.lock enable_m;
+  incr captures_live;
+  recompute_spans_on ();
+  Mutex.unlock enable_m
+
+let capture_end () =
+  Mutex.lock enable_m;
+  captures_live := Int.max 0 (!captures_live - 1);
+  recompute_spans_on ();
+  Mutex.unlock enable_m
+
+let with_capture ?(max_spans = 4096) f =
+  let k = { k_m = Mutex.create (); k_spans = []; k_cap = Int.max 1 max_spans; k_n = 0; k_dropped = 0 } in
+  let ds = dstate () in
+  let saved = ds.sink_ in
+  ds.sink_ <- Some k;
+  capture_begin ();
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        capture_end ();
+        ds.sink_ <- saved)
+      f
+  in
+  (* The pool joins its workers before [f] returns, so nothing pushes
+     into [k] after this point; the lock is for the memory fence. *)
+  Mutex.lock k.k_m;
+  let spans = k.k_spans and dropped = k.k_dropped in
+  Mutex.unlock k.k_m;
+  let spans = List.sort (fun a b -> Int64.compare a.sstart_ns b.sstart_ns) spans in
+  (result, spans, dropped)
+
+let current_sink () = if not (Atomic.get spans_on) then None else (dstate ()).sink_
+
+let with_sink k f =
+  match k with
+  | None -> f ()
+  | Some _ ->
+      let ds = dstate () in
+      let saved = ds.sink_ in
+      ds.sink_ <- k;
+      Fun.protect ~finally:(fun () -> ds.sink_ <- saved) f
+
 (* ------------------------------------------------------------ metrics *)
 
 (* Shards are striped by domain id: merging sums every stripe, so any
@@ -169,12 +284,17 @@ type histogram_snapshot = {
   h_sum : float;
   h_min : float;
   h_max : float;
+  h_bounds : float array;
   h_buckets : int array;
 }
 
 let bucket_bounds = [| 1e-12; 1e-10; 1e-8; 1e-6; 1e-4; 1e-2; 1.; 1e2; 1e4 |]
 
-let nbuckets = Array.length bucket_bounds + 1
+(* A 1-2-5 log series over the millisecond range — the bucket layout for
+   request-latency histograms (fixed log buckets, ~3 per decade), fine
+   enough that interpolated p50/p95/p99 land within a factor ~2. *)
+let latency_ms_bounds =
+  [| 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000. |]
 
 type hshard = {
   hs_count : int Atomic.t;
@@ -184,7 +304,7 @@ type hshard = {
   hs_buckets : int Atomic.t array;
 }
 
-type histogram = { h_name : string; h_shards : hshard array }
+type histogram = { h_name : string; h_bounds : float array; h_shards : hshard array }
 
 type metric = MCounter of counter | MGauge of gauge | MHistogram of histogram
 
@@ -196,24 +316,25 @@ let metric_name = function
 let metrics_m = Mutex.create ()
 let metrics : metric list ref = ref []  (* reverse registration order *)
 
+(* [same] may itself reject (histogram bounds mismatch), so the unlock
+   must survive an exception — a leaked registry lock would deadlock
+   every later registration and [reset]. *)
 let register name make same =
   Mutex.lock metrics_m;
-  let found = List.find_opt (fun m -> metric_name m = name) !metrics in
-  let r =
-    match found with
-    | Some m -> (
-        match same m with
-        | Some v -> v
-        | None ->
-            Mutex.unlock metrics_m;
-            invalid_arg (Printf.sprintf "Obs: metric %S already registered with another kind" name))
-    | None ->
-        let v = make () in
-        metrics := v :: !metrics;
-        (match same v with Some x -> x | None -> assert false)
-  in
-  Mutex.unlock metrics_m;
-  r
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock metrics_m)
+    (fun () ->
+      match List.find_opt (fun m -> metric_name m = name) !metrics with
+      | Some m -> (
+          match same m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Obs: metric %S already registered with another kind" name))
+      | None ->
+          let v = make () in
+          metrics := v :: !metrics;
+          (match same v with Some x -> x | None -> assert false))
 
 let counter name =
   register name
@@ -225,7 +346,7 @@ let gauge name =
     (fun () -> MGauge { g_name = name; g_bits = Atomic.make (Int64.bits_of_float Float.nan) })
     (function MGauge g -> Some g | _ -> None)
 
-let new_hshard () =
+let new_hshard nbuckets =
   {
     hs_count = Atomic.make 0;
     hs_sum = Atomic.make (Int64.bits_of_float 0.);
@@ -234,10 +355,28 @@ let new_hshard () =
     hs_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
   }
 
-let histogram name =
+let histogram_with_bounds name bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Obs.histogram_with_bounds: empty bounds";
+  for i = 1 to n - 1 do
+    if not (bounds.(i - 1) < bounds.(i)) then
+      invalid_arg "Obs.histogram_with_bounds: bounds must be strictly increasing"
+  done;
   register name
-    (fun () -> MHistogram { h_name = name; h_shards = Array.init stripes (fun _ -> new_hshard ()) })
-    (function MHistogram h -> Some h | _ -> None)
+    (fun () ->
+      MHistogram
+        {
+          h_name = name;
+          h_bounds = Array.copy bounds;
+          h_shards = Array.init stripes (fun _ -> new_hshard (n + 1));
+        })
+    (function
+      | MHistogram h ->
+          if h.h_bounds = bounds then Some h
+          else invalid_arg (Printf.sprintf "Obs: histogram %S registered with other bounds" name)
+      | _ -> None)
+
+let histogram name = histogram_with_bounds name bucket_bounds
 
 let add c n =
   if Atomic.get metrics_on then
@@ -255,19 +394,26 @@ let rec cas_float_update a f =
   let nv = Int64.bits_of_float (f (Int64.float_of_bits old)) in
   if not (Atomic.compare_and_set a old nv) then cas_float_update a f
 
-let bucket_of v =
-  let rec go i = if i >= Array.length bucket_bounds || v <= bucket_bounds.(i) then i else go (i + 1) in
+let bucket_of bounds v =
+  let rec go i = if i >= Array.length bounds || v <= bounds.(i) then i else go (i + 1) in
   go 0
 
-let observe_shard hs v =
+let observe_shard ~bounds hs v =
   ignore (Atomic.fetch_and_add hs.hs_count 1);
   cas_float_update hs.hs_sum (fun s -> s +. v);
   cas_float_update hs.hs_min (fun m -> Float.min m v);
   cas_float_update hs.hs_max (fun m -> Float.max m v);
-  ignore (Atomic.fetch_and_add hs.hs_buckets.(bucket_of v) 1)
+  ignore (Atomic.fetch_and_add hs.hs_buckets.(bucket_of bounds v) 1)
 
 let observe h v =
-  if Atomic.get metrics_on then observe_shard h.h_shards.(stripe_of_self ()) v
+  if Atomic.get metrics_on then
+    observe_shard ~bounds:h.h_bounds h.h_shards.(stripe_of_self ()) v
+
+(* The serve layer's latency histograms must fill even when the global
+   metrics switch is off (the daemon's own introspection must not
+   require enabling process-wide instrumentation overhead), so it
+   observes through this ungated variant. *)
+let observe_always h v = observe_shard ~bounds:h.h_bounds h.h_shards.(stripe_of_self ()) v
 
 let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_shards
 let gauge_value g = Int64.float_of_bits (Atomic.get g.g_bits)
@@ -275,7 +421,7 @@ let gauge_value g = Int64.float_of_bits (Atomic.get g.g_bits)
 let histogram_value h =
   let count = ref 0 and sum = ref 0. in
   let mn = ref Float.infinity and mx = ref Float.neg_infinity in
-  let buckets = Array.make nbuckets 0 in
+  let buckets = Array.make (Array.length h.h_bounds + 1) 0 in
   Array.iter
     (fun hs ->
       count := !count + Atomic.get hs.hs_count;
@@ -284,7 +430,41 @@ let histogram_value h =
       mx := Float.max !mx (Int64.float_of_bits (Atomic.get hs.hs_max));
       Array.iteri (fun i b -> buckets.(i) <- buckets.(i) + Atomic.get b) hs.hs_buckets)
     h.h_shards;
-  { h_count = !count; h_sum = !sum; h_min = !mn; h_max = !mx; h_buckets = buckets }
+  {
+    h_count = !count;
+    h_sum = !sum;
+    h_min = !mn;
+    h_max = !mx;
+    h_bounds = h.h_bounds;
+    h_buckets = buckets;
+  }
+
+(* Quantile estimation from bucket counts.  The rank of q over n samples
+   is ceil(q*n) (clamped to [1,n]), the same definition a sorted-sample
+   oracle uses, so the estimate always lands in the bucket that holds
+   the true order statistic; within the bucket we interpolate linearly
+   by rank.  The open-ended first and last buckets borrow the observed
+   min/max as their missing edge, which also makes single-bucket
+   populations exact at the extremes. *)
+let quantile (s : histogram_snapshot) q =
+  if s.h_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = Int.max 1 (Int.min s.h_count (int_of_float (Float.ceil (q *. float_of_int s.h_count)))) in
+    let nb = Array.length s.h_buckets in
+    let rec find i cum =
+      if i >= nb - 1 then (i, cum)
+      else if cum + s.h_buckets.(i) >= rank then (i, cum)
+      else find (i + 1) (cum + s.h_buckets.(i))
+    in
+    let i, before = find 0 0 in
+    let in_bucket = Int.max 1 s.h_buckets.(i) in
+    let lo = if i = 0 then s.h_min else Float.max s.h_min s.h_bounds.(i - 1) in
+    let hi = if i = nb - 1 then s.h_max else Float.min s.h_max s.h_bounds.(i) in
+    let frac = float_of_int (rank - before) /. float_of_int in_bucket in
+    if not (Float.is_finite lo && Float.is_finite hi) then Float.max lo (Float.min hi 0.)
+    else lo +. (frac *. (hi -. lo))
+  end
 
 type metric_value =
   | Counter of string * int
@@ -301,6 +481,9 @@ let metrics_snapshot () =
       | MGauge g -> Gauge (g.g_name, gauge_value g)
       | MHistogram h -> Histogram (h.h_name, histogram_value h))
     ms
+  (* Synthesized from the span buffers rather than bumped on the span
+     hot path: always exact, and costs nothing when nothing is dropped. *)
+  @ [ Counter ("obs.spans.dropped", dropped_spans ()) ]
 
 (* -------------------------------------------------------------- reset *)
 
@@ -310,6 +493,7 @@ let reset () =
     (fun ds ->
       ds.completed <- [];
       ds.nspans <- 0;
+      ds.hwm <- 0;
       ds.dropped <- 0)
     !registry;
   Mutex.unlock registry_m;
@@ -439,8 +623,15 @@ let metrics_json () =
         | Histogram (n, h) ->
             ( cs,
               gs,
-              Printf.sprintf "%s:{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}" (json_str n)
-                h.h_count (json_float h.h_sum) (json_float h.h_min) (json_float h.h_max)
+              Printf.sprintf
+                "%s:{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"bounds\":[%s],\"buckets\":[%s]}"
+                (json_str n) h.h_count (json_float h.h_sum) (json_float h.h_min)
+                (json_float h.h_max)
+                (json_float (quantile h 0.50))
+                (json_float (quantile h 0.95))
+                (json_float (quantile h 0.99))
+                (String.concat "," (Array.to_list (Array.map json_float h.h_bounds)))
+                (String.concat "," (Array.to_list (Array.map string_of_int h.h_buckets)))
               :: hs ))
       ([], [], []) (metrics_snapshot ())
   in
@@ -449,6 +640,57 @@ let metrics_json () =
     (String.concat "," (List.rev gauges))
     (String.concat "," (List.rev histos))
     (gc_json ())
+
+(* --------------------------------------------- Prometheus exposition *)
+
+(* Text exposition format 0.0.4.  Metric names keep only [a-zA-Z0-9_:];
+   counters gain the conventional _total suffix, histograms emit
+   cumulative le-buckets plus _sum/_count, unset gauges (NaN) are
+   skipped.  Floats print with the shortest representation that parses
+   back to the same value, so [le="0.05"] rather than 17 digits while a
+   scraper still sees the exact bucket edges the estimator used. *)
+let prometheus_float f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let prometheus_name n =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    n
+
+let metrics_prometheus () =
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter (n, v) ->
+          let n = prometheus_name n ^ "_total" in
+          out "# TYPE %s counter\n%s %d\n" n n v
+      | Gauge (n, v) ->
+          if Float.is_finite v then begin
+            let n = prometheus_name n in
+            out "# TYPE %s gauge\n%s %s\n" n n (prometheus_float v)
+          end
+      | Histogram (n, h) ->
+          let n = prometheus_name n in
+          out "# TYPE %s histogram\n" n;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              if i < Array.length h.h_bounds then begin
+                cum := !cum + c;
+                out "%s_bucket{le=\"%s\"} %d\n" n (prometheus_float h.h_bounds.(i)) !cum
+              end)
+            h.h_buckets;
+          out "%s_bucket{le=\"+Inf\"} %d\n" n h.h_count;
+          out "%s_sum %s\n" n (prometheus_float h.h_sum);
+          out "%s_count %d\n" n h.h_count)
+    (metrics_snapshot ());
+  Buffer.contents b
 
 let pp_summary ppf () =
   let ms = metrics_snapshot () in
@@ -488,10 +730,12 @@ let pp_summary ppf () =
     List.iter
       (fun (name, (c, tot, mx)) ->
         Format.fprintf ppf "  %-32s %8d %12.3f %12.3f %12.3f@," name c tot (tot /. float_of_int c) mx)
-      rows;
-    let dropped = dropped_spans () in
-    if dropped > 0 then Format.fprintf ppf "  (%d spans dropped at buffer cap)@," dropped
+      rows
   end;
+  let dropped = dropped_spans () and hwm = span_high_water () in
+  if dropped > 0 || hwm > 0 then
+    Format.fprintf ppf "== span buffers ==@,  dropped %d, per-domain high-water %d of %d@," dropped
+      hwm max_spans_per_domain;
   Format.fprintf ppf "@]"
 
 (* ---------------------------------------------------- env integration *)
@@ -516,6 +760,69 @@ let init_from_env () =
       enable_metrics ();
       at_exit (fun () -> write_jsonl path)
 
+(* ----------------------------------------------------------- ring *)
+
+(* A lock-free bounded ring of recent records, striped by domain id like
+   the metric shards.  Each push claims a globally unique sequence
+   number and a per-stripe slot with fetch_and_add; the slot write is a
+   single immutable-pointer store, so concurrent writers (and readers)
+   can never observe a torn record — at worst a lapped slot holds the
+   newer of two records.  Every stripe retains its own last [capacity]
+   records, which is a superset of the newest [capacity] records
+   overall, so [snapshot]'s tail is exact. *)
+module Ring = struct
+  type 'a cell = { r_seq : int; r_v : 'a }
+
+  type 'a stripe_state = { r_next : int Atomic.t; r_slots : 'a cell option array }
+
+  type 'a t = { r_cap : int; r_seq : int Atomic.t; r_stripes : 'a stripe_state array }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Obs.Ring.create: capacity must be >= 1";
+    {
+      r_cap = capacity;
+      r_seq = Atomic.make 0;
+      r_stripes =
+        Array.init stripes (fun _ ->
+            { r_next = Atomic.make 0; r_slots = Array.make capacity None });
+    }
+
+  let capacity t = t.r_cap
+
+  let push t v =
+    let st = t.r_stripes.(stripe_of_self ()) in
+    let seq = Atomic.fetch_and_add t.r_seq 1 in
+    let slot = Atomic.fetch_and_add st.r_next 1 mod t.r_cap in
+    st.r_slots.(slot) <- Some { r_seq = seq; r_v = v }
+
+  let pushed t = Atomic.get t.r_seq
+
+  (* All retained records across every stripe, oldest first. *)
+  let snapshot t =
+    let cells = ref [] in
+    Array.iter
+      (fun st ->
+        Array.iter (function None -> () | Some c -> cells := c :: !cells) st.r_slots)
+      t.r_stripes;
+    List.map
+      (fun c -> c.r_v)
+      (List.sort (fun (a : _ cell) (b : _ cell) -> compare a.r_seq b.r_seq) !cells)
+
+  (* The newest [capacity] records overall, oldest first. *)
+  let tail t =
+    let all = snapshot t in
+    let n = List.length all in
+    if n <= t.r_cap then all
+    else List.filteri (fun i _ -> i >= n - t.r_cap) all
+
+  let clear t =
+    Array.iter
+      (fun st ->
+        Atomic.set st.r_next 0;
+        Array.fill st.r_slots 0 (Array.length st.r_slots) None)
+      t.r_stripes
+end
+
 (* -------------------------------------------------------- test hooks *)
 
 module Internal = struct
@@ -524,5 +831,6 @@ module Internal = struct
   let counter_add_on_stripe c ~stripe n =
     ignore (Atomic.fetch_and_add c.c_shards.(stripe land (stripes - 1)) n)
 
-  let observe_on_stripe h ~stripe v = observe_shard h.h_shards.(stripe land (stripes - 1)) v
+  let observe_on_stripe h ~stripe v =
+    observe_shard ~bounds:h.h_bounds h.h_shards.(stripe land (stripes - 1)) v
 end

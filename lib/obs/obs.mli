@@ -67,6 +67,41 @@ val recorded_spans : unit -> span_record list
 val dropped_spans : unit -> int
 (** Spans discarded because a domain hit its buffer cap. *)
 
+val span_high_water : unit -> int
+(** Largest per-domain span-buffer occupancy seen since the last
+    {!reset} — how close any domain came to the drop threshold. *)
+
+(** {1 Per-request capture}
+
+    A capture collects the span subtree of one computation without
+    touching the global span buffers and without requiring tracing to be
+    enabled process-wide — the sizing daemon uses it to attach a
+    request's own spans to its reply.  Captures nest with global tracing
+    (spans are then delivered to both destinations) and with each other
+    (innermost sink wins on a domain). *)
+
+type capture_sink
+(** The destination installed on a domain by a live capture.  Opaque;
+    exists so {!Bufsize_pool.Pool} can carry the caller's capture onto
+    its worker domains, exactly like the span parent context. *)
+
+val with_capture : ?max_spans:int -> (unit -> 'a) -> 'a * span_record list * int
+(** [with_capture f] runs [f] with span recording forced on and a fresh
+    sink installed on the calling domain; returns [f ()]'s value, the
+    spans closed under the sink (start-time order), and how many were
+    discarded beyond [max_spans] (default 4096).  Pool workers running
+    items for [f] deliver to the same sink.  Other domains' unrelated
+    spans are not collected (and, when global tracing is off, not
+    recorded at all). *)
+
+val current_sink : unit -> capture_sink
+(** The calling domain's live capture sink (a no-op value when none).
+    Capture it before handing work to another domain, restore there with
+    {!with_sink} — the pool does this alongside {!current_context}. *)
+
+val with_sink : capture_sink -> (unit -> 'a) -> 'a
+(** Run [f] with the given sink installed on this domain. *)
+
 (* ------------------------------------------------------------ metrics *)
 
 type counter
@@ -77,12 +112,25 @@ val counter : string -> counter
 (** Register (or look up) a named monotonic counter.  Idempotent. *)
 
 val gauge : string -> gauge
+
 val histogram : string -> histogram
+(** A histogram over the default decade buckets ({!bucket_bounds}). *)
+
+val histogram_with_bounds : string -> float array -> histogram
+(** A histogram with caller-chosen strictly increasing bucket upper
+    bounds (one extra overflow bucket is added).  Idempotent for equal
+    bounds; @raise Invalid_argument on a bounds mismatch or an empty or
+    non-increasing array. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set_gauge : gauge -> float -> unit
 val observe : histogram -> float -> unit
+
+val observe_always : histogram -> float -> unit
+(** Record regardless of the global metrics switch — for subsystems
+    (the serve layer's latency histograms) whose own introspection must
+    work without enabling process-wide instrumentation. *)
 
 val counter_value : counter -> int
 (** Sum across all shards; reads are always allowed, even when disabled. *)
@@ -94,13 +142,25 @@ type histogram_snapshot = {
   h_sum : float;
   h_min : float;  (* +inf when empty *)
   h_max : float;  (* -inf when empty *)
-  h_buckets : int array;  (* decade buckets, see [bucket_bounds] *)
+  h_bounds : float array;  (* bucket upper bounds of this histogram *)
+  h_buckets : int array;  (* length = Array.length h_bounds + 1 *)
 }
 
 val histogram_value : histogram -> histogram_snapshot
+
+val quantile : histogram_snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile (rank ceil(q*count)) from
+    the bucket counts: the estimate always falls inside the bucket that
+    contains the true order statistic, linearly interpolated by rank and
+    tightened by the observed min/max.  NaN when empty. *)
+
 val bucket_bounds : float array
-(** Upper bounds of the histogram decade buckets (last bucket catches
-    the rest). *)
+(** Upper bounds of the default decade buckets (last bucket catches the
+    rest). *)
+
+val latency_ms_bounds : float array
+(** A 1-2-5 log series from 0.05 ms to 10 s — the fixed log-bucket
+    layout for request-latency histograms. *)
 
 type metric_value =
   | Counter of string * int
@@ -108,7 +168,8 @@ type metric_value =
   | Histogram of string * histogram_snapshot
 
 val metrics_snapshot : unit -> metric_value list
-(** Every registered metric merged across shards, in registration order. *)
+(** Every registered metric merged across shards, in registration order,
+    plus a synthesized [obs.spans.dropped] counter. *)
 
 (* ---------------------------------------------------------- exporters *)
 
@@ -121,10 +182,18 @@ val write_jsonl : string -> unit
     dropped-span count. *)
 
 val metrics_json : unit -> string
-(** Single JSON object: counters, gauges, histograms, GC snapshot. *)
+(** Single JSON object: counters, gauges, histograms (with p50/p95/p99
+    and bucket layout), GC snapshot. *)
+
+val metrics_prometheus : unit -> string
+(** Prometheus text exposition (format 0.0.4) of every registered
+    metric: counters as [name_total], gauges (unset/NaN skipped),
+    histograms as cumulative [le]-buckets plus [_sum]/[_count].  Names
+    are sanitized to [[a-zA-Z0-9_:]]. *)
 
 val pp_summary : Format.formatter -> unit -> unit
-(** Console summary: metric table plus per-name span aggregation. *)
+(** Console summary: metric table, per-name span aggregation, and the
+    span-buffer health line (dropped count, per-domain high-water). *)
 
 (* ---------------------------------------------------- env integration *)
 
@@ -137,6 +206,40 @@ val init_from_env : unit -> unit
     trace to [<path>] at exit; [BUFSIZE_METRICS=1|summary] enables
     metrics and prints the console summary to stderr at exit, while any
     other non-empty value is a path that receives the JSONL dump. *)
+
+(* ------------------------------------------------------------- ring *)
+
+(** A lock-free bounded ring of recent records, striped by domain id —
+    the storage behind the serve layer's flight recorder.  Writers never
+    wait: a push is two fetch-and-adds plus one immutable-pointer store,
+    so records are never torn and readers may snapshot concurrently.
+    Each stripe retains its own newest [capacity] records; {!tail} is
+    therefore exactly the newest [capacity] records overall. *)
+module Ring : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument when [capacity < 1]. *)
+
+  val capacity : 'a t -> int
+
+  val push : 'a t -> 'a -> unit
+  (** Record [v], evicting the oldest record of this domain's stripe
+      when it is full.  Lock-free, safe from any domain. *)
+
+  val pushed : 'a t -> int
+  (** Total records ever pushed (not the retained count). *)
+
+  val snapshot : 'a t -> 'a list
+  (** Every retained record, oldest first.  Safe during pushes; at most
+      [stripes * capacity] records. *)
+
+  val tail : 'a t -> 'a list
+  (** The newest [capacity] records overall, oldest first. *)
+
+  val clear : 'a t -> unit
+  (** Not linearizable against concurrent pushes — quiescent use only. *)
+end
 
 (* -------------------------------------------------------- test hooks *)
 

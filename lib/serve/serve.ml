@@ -29,6 +29,8 @@ type config = {
   workers : int;
   default_deadline_ms : float;
   max_request_bytes : int;
+  flight_cap : int;
+  log_requests : bool;
 }
 
 let env_nonneg_int name default =
@@ -48,6 +50,13 @@ let env_float name default =
       | Some f -> f
       | None -> invalid_arg (Printf.sprintf "%s: expected a number, got %S" name s))
 
+let env_bool name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some ("0" | "false" | "off" | "no") -> false
+  | Some s -> invalid_arg (Printf.sprintf "%s: expected a boolean, got %S" name s)
+
 let default_socket_path () = Filename.concat (Filename.get_temp_dir_name ()) "bufsize.sock"
 
 let config_of_env () =
@@ -63,6 +72,8 @@ let config_of_env () =
            (Int.max 1 (Int.min 4 (Domain.recommended_domain_count () - 1))));
     default_deadline_ms = env_float "BUFSIZE_SERVE_DEADLINE_MS" 0.;
     max_request_bytes = env_nonneg_int "BUFSIZE_SERVE_MAX_REQUEST" (1 lsl 20);
+    flight_cap = Int.max 1 (env_nonneg_int "BUFSIZE_FLIGHT_CAP" 256);
+    log_requests = env_bool "BUFSIZE_SERVE_LOG_REQUESTS" false;
   }
 
 let temp_socket_path () =
@@ -94,8 +105,15 @@ type handler = deadline:Resilience.budget -> Json.t -> reply
 let ops : (string, handler) Hashtbl.t = Hashtbl.create 16
 let ops_mutex = Mutex.create ()
 
+(* Ops the IO loop answers inline, without a worker: [ping] (liveness
+   even when every worker is busy), [stats] and [flight] (they read
+   server state a handler cannot reach — and an operator probing a
+   saturated daemon needs them to answer exactly then). *)
+let inline_ops = [ "ping"; "stats"; "flight" ]
+
 let register_op name h =
-  if name = "ping" then invalid_arg "Serve.register_op: ping is answered by the IO loop";
+  if List.mem name inline_ops then
+    invalid_arg (Printf.sprintf "Serve.register_op: %s is answered by the IO loop" name);
   Mutex.lock ops_mutex;
   Hashtbl.replace ops name h;
   Mutex.unlock ops_mutex
@@ -110,7 +128,7 @@ let registered_ops () =
   Mutex.lock ops_mutex;
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) ops [] in
   Mutex.unlock ops_mutex;
-  List.sort String.compare ("ping" :: names)
+  List.sort String.compare (inline_ops @ names)
 
 let bad_request message = Reply_error { kind = Bad_request; message; retry_after_ms = None }
 
@@ -306,11 +324,110 @@ let stall_handler ~deadline:_ req =
     Reply_ok [ ("slept_ms", Json.Num ms) ]
   end
 
+(* The full Obs metrics registry — counters, gauges, and the per-op
+   latency histograms with their p50/p95/p99 — as JSON, or as Prometheus
+   text exposition when the request sets ["prometheus": true] (or
+   ["format": "prometheus"]).  A worker op on purpose: the export walks
+   every metric shard, which has no business on the IO domain. *)
+let metrics_handler ~deadline:_ req =
+  let prometheus =
+    (match Json.member "prometheus" req with Some (Json.Bool b) -> b | _ -> false)
+    || Json.mem_string "format" req = Some "prometheus"
+  in
+  if prometheus then
+    Reply_ok
+      [
+        ("content_type", Json.Str "text/plain; version=0.0.4");
+        ("text", Json.Str (Obs.metrics_prometheus ()));
+      ]
+  else Reply_ok [ ("metrics", Json.parse_exn (Obs.metrics_json ())) ]
+
 let () =
   register_op "size" size_handler;
   register_op "simulate" simulate_handler;
   register_op "kron" kron_handler;
-  register_op "stall" stall_handler
+  register_op "stall" stall_handler;
+  register_op "metrics" metrics_handler
+
+(* ------------------------------------------- flight recorder & stats *)
+
+(* One completed request, as remembered by the flight recorder: enough
+   for a postmortem (who, what, how long, how it ended) without
+   always-on tracing.  Immutable, so ring slots are single pointer
+   stores and records can never be torn. *)
+type flight_record = {
+  fr_rid : int;  (* server-assigned request id *)
+  fr_op : string;
+  fr_outcome : string;  (* "ok" | "degraded" | an error kind name *)
+  fr_note : string;  (* degradation reason / error message; "" when ok *)
+  fr_queue_ms : float;
+  fr_service_ms : float;
+  fr_span : int;  (* telemetry root span id; 0 when not captured *)
+}
+
+let flight_record_json r =
+  Json.Obj
+    [
+      ("request_id", Json.Num (float_of_int r.fr_rid));
+      ("op", Json.Str r.fr_op);
+      ("outcome", Json.Str r.fr_outcome);
+      ("note", Json.Str r.fr_note);
+      ("queue_ms", Json.Num r.fr_queue_ms);
+      ("service_ms", Json.Num r.fr_service_ms);
+      ("span", if r.fr_span = 0 then Json.Null else Json.Num (float_of_int r.fr_span));
+    ]
+
+(* Per-op admission accounting for the [stats] op.  [in_flight] is
+   derived as accepted - completed - failed under the same mutex both
+   sides update, so the conservation identity the serve oracle checks
+   holds at every instant, not just at quiescence. *)
+type op_stat = { mutable os_accepted : int; mutable os_completed : int; mutable os_failed : int }
+
+(* Per-op latency histograms (queue wait + service, milliseconds) on the
+   fixed log buckets.  Registered in the process-global Obs registry —
+   that is what the [metrics] op exports — and observed through the
+   ungated path so the daemon's SLO data fills without enabling
+   process-wide metrics. *)
+let latency_m = Mutex.create ()
+let latency_tbl : (string, Obs.histogram) Hashtbl.t = Hashtbl.create 8
+
+let latency_hist op =
+  Mutex.lock latency_m;
+  let h =
+    match Hashtbl.find_opt latency_tbl op with
+    | Some h -> h
+    | None ->
+        let h = Obs.histogram_with_bounds ("serve.latency_ms." ^ op) Obs.latency_ms_bounds in
+        Hashtbl.replace latency_tbl op h;
+        h
+  in
+  Mutex.unlock latency_m;
+  h
+
+(* One structured stderr line per completed request (--log-requests).
+   A global mutex keeps lines whole across worker domains. *)
+let log_m = Mutex.create ()
+
+let request_log_line r =
+  Json.encode
+    (Json.Obj
+       [
+         ("request_id", Json.Num (float_of_int r.fr_rid));
+         ("op", Json.Str r.fr_op);
+         ("outcome", Json.Str r.fr_outcome);
+         ("queue_ms", Json.Num r.fr_queue_ms);
+         ("service_ms", Json.Num r.fr_service_ms);
+       ])
+
+let log_request r =
+  let line = request_log_line r in
+  Mutex.lock log_m;
+  (try
+     output_string stderr line;
+     output_char stderr '\n';
+     flush stderr
+   with Sys_error _ -> ());
+  Mutex.unlock log_m
 
 (* ------------------------------------------------- conns, queue, server *)
 
@@ -327,10 +444,13 @@ type conn = {
 type work = {
   w_conn : conn;
   w_id : Json.t;
+  w_rid : int;  (* server-assigned, unique per dispatched request *)
   w_op : string;
   w_handler : handler;
   w_req : Json.t;
   w_deadline : Resilience.budget;
+  w_enqueued : float;  (* Unix time at admission, for queue-wait *)
+  w_telemetry : bool;  (* request asked for its own span subtree *)
 }
 
 type queue = {
@@ -379,6 +499,12 @@ let queue_close q =
   Condition.broadcast q.qcv;
   Mutex.unlock q.qm
 
+let queue_length q =
+  Mutex.lock q.qm;
+  let n = Queue.length q.items in
+  Mutex.unlock q.qm;
+  n
+
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
@@ -389,7 +515,32 @@ type t = {
   mutable io_domain : unit Domain.t option;
   mutable stopped : bool;
   ewma_ms : float Atomic.t;  (* smoothed request service time *)
+  started_at : float;
+  rids : int Atomic.t;  (* next request id *)
+  flight : flight_record Obs.Ring.t;
+  stats_m : Mutex.t;
+  op_stats : (string, op_stat) Hashtbl.t;
 }
+
+let op_stat_locked t op =
+  match Hashtbl.find_opt t.op_stats op with
+  | Some s -> s
+  | None ->
+      let s = { os_accepted = 0; os_completed = 0; os_failed = 0 } in
+      Hashtbl.replace t.op_stats op s;
+      s
+
+let stat_accepted t op =
+  Mutex.lock t.stats_m;
+  let s = op_stat_locked t op in
+  s.os_accepted <- s.os_accepted + 1;
+  Mutex.unlock t.stats_m
+
+let stat_done t op ~failed =
+  Mutex.lock t.stats_m;
+  let s = op_stat_locked t op in
+  if failed then s.os_failed <- s.os_failed + 1 else s.os_completed <- s.os_completed + 1;
+  Mutex.unlock t.stats_m
 
 let socket_path t = t.cfg.socket_path
 let config t = t.cfg
@@ -402,8 +553,17 @@ let rec write_all fd b off len =
         ignore (Unix.select [] [ fd ] [] 1.0);
         write_all fd b off len
 
-let write_reply conn ~id ~op reply =
-  let line = Json.encode (reply_json ~id ~op reply) ^ "\n" in
+(* [extra] fields (the per-request telemetry object) are appended after
+   everything else, so stripping them from a reply restores the exact
+   bytes of the plain reply — the invariant the serve oracle checks. *)
+let write_reply ?(extra = []) conn ~id ~op reply =
+  let j =
+    match (reply_json ~id ~op reply, extra) with
+    | j, [] -> j
+    | Json.Obj kvs, extra -> Json.Obj (kvs @ extra)
+    | j, _ -> j
+  in
+  let line = Json.encode j ^ "\n" in
   Mutex.lock conn.wm;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.wm)
@@ -420,9 +580,94 @@ let deadline_of_request t req =
       if t.cfg.default_deadline_ms > 0. then Resilience.of_ms t.cfg.default_deadline_ms
       else Resilience.unlimited
 
+(* ------------------------------------------------------ introspection *)
+
+let num_int n = Json.Num (float_of_int n)
+
+(* The live server snapshot, answered inline by the IO domain: an
+   operator must be able to read queue depth and in-flight counts from a
+   daemon whose every worker is wedged.  Reading [accepted] from the IO
+   domain and the completion counts under [stats_m] makes
+   accepted = completed + failed + in_flight exact. *)
+let stats_reply t =
+  Mutex.lock t.stats_m;
+  let per_op =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold
+         (fun op s acc -> (op, (s.os_accepted, s.os_completed, s.os_failed)) :: acc)
+         t.op_stats [])
+  in
+  Mutex.unlock t.stats_m;
+  let acc, comp, fail =
+    List.fold_left
+      (fun (a, c, f) (_, (oa, oc, of_)) -> (a + oa, c + oc, f + of_))
+      (0, 0, 0) per_op
+  in
+  let op_json (op, (oa, oc, of_)) =
+    ( op,
+      Json.Obj
+        [
+          ("accepted", num_int oa);
+          ("completed", num_int oc);
+          ("failed", num_int of_);
+          ("in_flight", num_int (oa - oc - of_));
+        ] )
+  in
+  Reply_ok
+    [
+      ("uptime_s", Json.Num (Unix.gettimeofday () -. t.started_at));
+      ("queue_depth", num_int t.cfg.queue_depth);
+      ("waiting", num_int (queue_length t.q));
+      ("workers", num_int t.cfg.workers);
+      ("ewma_service_ms", Json.Num (Atomic.get t.ewma_ms));
+      ("accepted", num_int acc);
+      ("completed", num_int comp);
+      ("failed", num_int fail);
+      ("in_flight", num_int (acc - comp - fail));
+      ("dropped_spans", num_int (Obs.dropped_spans ()));
+      ("span_high_water", num_int (Obs.span_high_water ()));
+      ("flight_recorded", num_int (Obs.Ring.pushed t.flight));
+      ("ops", Json.Obj (List.map op_json per_op));
+    ]
+
+let flight_records t = Obs.Ring.tail t.flight
+
+let flight_reply t =
+  Reply_ok
+    [
+      ("capacity", num_int t.cfg.flight_cap);
+      ("recorded", num_int (Obs.Ring.pushed t.flight));
+      ("records", Json.List (List.map flight_record_json (flight_records t)));
+    ]
+
+let flight_dump_path t =
+  match Sys.getenv_opt "BUFSIZE_FLIGHT_PATH" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> t.cfg.socket_path ^ ".flight.jsonl"
+
+(* Merge every domain's ring stripe and write the newest [flight_cap]
+   records as JSONL, newest snapshot replacing the previous dump.
+   Called on internal_error (from the failing worker), on SIGUSR1 (via
+   the CLI), and manually; must never throw into a worker. *)
+let dump_flight ?path t =
+  let path = match path with Some p -> p | None -> flight_dump_path t in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (Json.encode (flight_record_json r));
+          output_char oc '\n')
+        (flight_records t));
+  path
+
+let dump_flight_noerr t = try ignore (dump_flight t) with Sys_error _ -> ()
+
 (* One complete request line, dispatched from the IO domain.  Every line
    gets exactly one reply: parse errors and unknown ops are answered
-   inline, ping short-circuits (a liveness probe that works while every
+   inline, ping/stats/flight short-circuit (probes that work while every
    worker is busy), everything else is enqueued or bounced with a typed
    overloaded rejection. *)
 let handle_line t conn line =
@@ -436,6 +681,8 @@ let handle_line t conn line =
       | Some "ping" ->
           write_reply conn ~id ~op:"ping"
             (Reply_ok [ ("ops", Json.List (List.map (fun n -> Json.Str n) (registered_ops ()))) ])
+      | Some "stats" -> write_reply conn ~id ~op:"stats" (stats_reply t)
+      | Some "flight" -> write_reply conn ~id ~op:"flight" (flight_reply t)
       | Some op -> (
           match find_op op with
           | None ->
@@ -448,14 +695,23 @@ let handle_line t conn line =
                 {
                   w_conn = conn;
                   w_id = id;
+                  w_rid = Atomic.fetch_and_add t.rids 1;
                   w_op = op;
                   w_handler = h;
                   w_req = req;
                   w_deadline = deadline_of_request t req;
+                  w_enqueued = Unix.gettimeofday ();
+                  w_telemetry =
+                    (match Json.member "telemetry" req with
+                    | Some (Json.Bool b) -> b
+                    | Some _ | None -> false);
                 }
               in
               let accepted, waiting = queue_try_push t.q w in
-              if accepted then Atomic.incr conn.pending
+              if accepted then begin
+                Atomic.incr conn.pending;
+                stat_accepted t op
+              end
               else begin
                 Obs.incr m_overloaded;
                 let ewma = Float.max 1. (Atomic.get t.ewma_ms) in
@@ -473,9 +729,64 @@ let handle_line t conn line =
 
 (* ------------------------------------------------------------- workers *)
 
+(* Cache/warm-start counters sampled around a telemetry request; the
+   reply carries the deltas.  (Process-global counters, so concurrent
+   requests can bleed into each other's deltas — telemetry is a
+   diagnostic view, not an accounting one.) *)
+let cache_stats_now () =
+  let lp_h, lp_m = Bufsize_numeric.Lp.cache_stats () in
+  let sz_h, sz_m = Sizing.cache_stats () in
+  let wa, wr = Bufsize_numeric.Simplex_revised.warm_stats () in
+  (lp_h, lp_m, sz_h, sz_m, wa, wr)
+
+let span_json epoch (s : Obs.span_record) =
+  Json.Obj
+    [
+      ("id", num_int s.Obs.sid);
+      ("parent", num_int s.Obs.sparent);
+      ("name", Json.Str s.Obs.sname);
+      ("domain", num_int s.Obs.strack);
+      ("start_us", Json.Num (Int64.to_float (Int64.sub s.Obs.sstart_ns epoch) /. 1e3));
+      ("dur_us", Json.Num (Int64.to_float s.Obs.sdur_ns /. 1e3));
+      ("alloc_minor_words", Json.Num s.Obs.salloc_minor_w);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Obs.sattrs));
+    ]
+
+let reply_fields = function
+  | Reply_ok fields | Reply_degraded (_, fields) -> fields
+  | Reply_error _ -> []
+
+let telemetry_json ~rid ~root ~spans ~spans_dropped ~queue_ms ~service_ms ~c0 ~c1 ~reply =
+  let lp_h0, lp_m0, sz_h0, sz_m0, wa0, wr0 = c0 in
+  let lp_h1, lp_m1, sz_h1, sz_m1, wa1, wr1 = c1 in
+  let pair h m = Json.Obj [ ("hits", num_int h); ("misses", num_int m) ] in
+  let epoch = match spans with s :: _ -> s.Obs.sstart_ns | [] -> 0L in
+  Json.Obj
+    [
+      ("request_id", num_int rid);
+      ("queue_ms", Json.Num queue_ms);
+      ("service_ms", Json.Num service_ms);
+      ("root_span", if root = 0 then Json.Null else num_int root);
+      ("spans", Json.List (List.map (span_json epoch) spans));
+      ("spans_dropped", num_int spans_dropped);
+      ( "solvers",
+        (* The solver diagnostics (engine, status, iterations, residual,
+           fallbacks, chain span id) as the handler attached them. *)
+        Option.value ~default:Json.Null (List.assoc_opt "health" (reply_fields reply)) );
+      ( "cache",
+        Json.Obj
+          [
+            ("lp", pair (lp_h1 - lp_h0) (lp_m1 - lp_m0));
+            ("sizing", pair (sz_h1 - sz_h0) (sz_m1 - sz_m0));
+            ( "warm_start",
+              Json.Obj [ ("accepted", num_int (wa1 - wa0)); ("rejected", num_int (wr1 - wr0)) ] );
+          ] );
+    ]
+
 let run_work t w =
   let t0 = Unix.gettimeofday () in
-  let reply =
+  let queue_ms = (t0 -. w.w_enqueued) *. 1000. in
+  let compute () =
     if Resilience.exhausted w.w_deadline then
       Reply_degraded ("deadline exceeded before the request started", [])
     else
@@ -491,14 +802,65 @@ let run_work t w =
             Reply_error
               { kind = Internal_error; message = Printexc.to_string e; retry_after_ms = None }
   in
+  (* Telemetry wraps the handler in a capture and a root span; the reply
+     is the same either way (the capture only observes), so the
+     telemetry-stripped reply stays byte-identical to a plain one. *)
+  let reply, capture =
+    if not w.w_telemetry then (compute (), None)
+    else begin
+      let c0 = cache_stats_now () in
+      let (reply, root), spans, spans_dropped =
+        Obs.with_capture (fun () ->
+            Obs.span_with_id ~name:"serve.request" (fun root -> (compute (), root)))
+      in
+      (reply, Some (root, spans, spans_dropped, c0))
+    end
+  in
   (match reply with
   | Reply_degraded _ -> Obs.incr m_degraded
   | Reply_error { kind = Internal_error; _ } -> Obs.incr m_internal
   | Reply_ok _ | Reply_error _ -> ());
-  let dt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let service_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   let prev = Atomic.get t.ewma_ms in
-  Atomic.set t.ewma_ms (if prev <= 0. then dt_ms else (0.8 *. prev) +. (0.2 *. dt_ms));
-  write_reply w.w_conn ~id:w.w_id ~op:w.w_op reply;
+  Atomic.set t.ewma_ms (if prev <= 0. then service_ms else (0.8 *. prev) +. (0.2 *. service_ms));
+  let outcome, note =
+    match reply with
+    | Reply_ok _ -> ("ok", "")
+    | Reply_degraded (reason, _) -> ("degraded", reason)
+    | Reply_error { kind; message; _ } -> (error_kind_name kind, message)
+  in
+  let record =
+    {
+      fr_rid = w.w_rid;
+      fr_op = w.w_op;
+      fr_outcome = outcome;
+      fr_note = note;
+      fr_queue_ms = queue_ms;
+      fr_service_ms = service_ms;
+      fr_span = (match capture with Some (root, _, _, _) -> root | None -> 0);
+    }
+  in
+  (* Every completion below happens before the reply is written, so a
+     client that has its reply sees it reflected in stats/flight. *)
+  Obs.observe_always (latency_hist w.w_op) (queue_ms +. service_ms);
+  Obs.Ring.push t.flight record;
+  stat_done t w.w_op ~failed:(match reply with Reply_error _ -> true | _ -> false);
+  if t.cfg.log_requests then log_request record;
+  (match reply with
+  | Reply_error { kind = Internal_error; _ } -> dump_flight_noerr t
+  | Reply_ok _ | Reply_degraded _ | Reply_error _ -> ());
+  let extra =
+    match capture with
+    | None -> []
+    | Some (root, spans, spans_dropped, c0) ->
+        let c1 = cache_stats_now () in
+        [
+          ( "telemetry",
+            telemetry_json ~rid:w.w_rid ~root ~spans ~spans_dropped ~queue_ms ~service_ms ~c0
+              ~c1 ~reply );
+        ]
+  in
+  write_reply ~extra w.w_conn ~id:w.w_id ~op:w.w_op reply;
   Atomic.decr w.w_conn.pending
 
 let worker_loop t =
@@ -649,6 +1011,11 @@ let start ?config () =
       io_domain = None;
       stopped = false;
       ewma_ms = Atomic.make 0.;
+      started_at = Unix.gettimeofday ();
+      rids = Atomic.make 1;
+      flight = Obs.Ring.create ~capacity:(Int.max 1 cfg.flight_cap);
+      stats_m = Mutex.create ();
+      op_stats = Hashtbl.create 16;
     }
   in
   t.worker_domains <- Array.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));

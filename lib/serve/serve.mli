@@ -24,7 +24,9 @@
     "max_states":64,"deadline_ms":5000}].  [id] is echoed verbatim (any
     JSON value; [null] when absent); [op] selects a handler; absent
     [deadline_ms] uses the server default, [deadline_ms <= 0] is an
-    already-expired deadline.
+    already-expired deadline.  Every dispatched request is also assigned
+    a server-side monotone request id, which appears in telemetry
+    replies, flight-recorder records and [--log-requests] lines.
 
     Reply: [{"id":1,"op":"size","status":"ok",...}] with [status] one of
     ["ok"], ["degraded"] (usable answer plus a ["reason"]), or ["error"]
@@ -32,11 +34,38 @@
     where [kind] is ["bad_request"], ["oversized"], ["overloaded"] or
     ["internal_error"].
 
-    Built-in ops: [ping] (answered inline by the IO loop — a liveness
-    probe that works even when every worker is busy), [size], [simulate],
-    [kron], and the chaos-gated [stall]; the verify library registers
-    [verify] and [chaos] (both gated behind [BUFSIZE_CHAOS=1] where they
-    inject faults). *)
+    {2 Introspection}
+
+    A request with ["telemetry": true] gets a trailing ["telemetry"]
+    member on its reply: the server-assigned request id, queue-wait and
+    service milliseconds, the request's own span subtree (captured
+    per-request — no server-side trace file, no global tracing), the
+    solver diagnostics the handler attached (engine, iterations,
+    residual, fallbacks), and cache hit/miss deltas.  Stripping the
+    ["telemetry"] member restores the plain reply byte-for-byte —
+    telemetry only observes.
+
+    Built-in ops answered inline by the IO loop (they work while every
+    worker is busy): [ping] (liveness + op list), [stats] (queue depth,
+    waiting, in-flight, workers, service-time EWMA, uptime, dropped
+    spans, per-op accepted/completed/failed counters, conserving
+    accepted = completed + failed + in_flight), and [flight] (the flight
+    recorder's newest records).  Worker ops: [size], [simulate], [kron],
+    [metrics] (the full Obs metrics registry with per-op latency
+    histograms and p50/p95/p99, as JSON or — with ["prometheus": true] —
+    Prometheus text exposition in a ["text"] member), and the
+    chaos-gated [stall]; the verify library registers [verify] and
+    [chaos] (both gated behind [BUFSIZE_CHAOS=1] where they inject
+    faults).
+
+    {2 Flight recorder}
+
+    A lock-free per-domain ring ({!Bufsize_obs.Obs.Ring}) remembers the
+    last [flight_cap] completed request records (id, op, outcome,
+    queue/service latencies, telemetry span id, diagnostic note).  The
+    merged ring is dumped as JSONL to {!flight_dump_path} on any
+    [internal_error] reply and by {!dump_flight} (the CLI calls it on
+    SIGUSR1), and is served live by the [flight] op. *)
 
 module Json := Bufsize_json.Json
 module Resilience := Bufsize_resilience.Resilience
@@ -49,13 +78,16 @@ type config = {
   workers : int;  (** worker domains; >= 1 *)
   default_deadline_ms : float;  (** for requests without [deadline_ms]; <= 0 = unlimited *)
   max_request_bytes : int;  (** longer request lines get a typed [oversized] reply *)
+  flight_cap : int;  (** flight-recorder capacity (completed requests remembered) *)
+  log_requests : bool;  (** one JSONL line per completed request on stderr *)
 }
 
 val config_of_env : unit -> config
 (** Defaults seeded from the environment: [BUFSIZE_SERVE_SOCKET] (default
     [<tmpdir>/bufsize.sock]), [BUFSIZE_SERVE_QUEUE] (64),
     [BUFSIZE_SERVE_WORKERS], [BUFSIZE_SERVE_DEADLINE_MS] (unlimited),
-    [BUFSIZE_SERVE_MAX_REQUEST] (1 MiB). *)
+    [BUFSIZE_SERVE_MAX_REQUEST] (1 MiB), [BUFSIZE_FLIGHT_CAP] (256),
+    [BUFSIZE_SERVE_LOG_REQUESTS] (off). *)
 
 val temp_socket_path : unit -> string
 (** A fresh unique socket path in the temp directory — for in-process
@@ -102,6 +134,16 @@ val stop : t -> unit
 
 val socket_path : t -> string
 val config : t -> config
+
+val flight_dump_path : t -> string
+(** Where {!dump_flight} writes by default: [BUFSIZE_FLIGHT_PATH] when
+    set, else [socket_path ^ ".flight.jsonl"]. *)
+
+val dump_flight : ?path:string -> t -> string
+(** Write the flight recorder's current records (oldest first, one JSON
+    object per line) to [path] (default {!flight_dump_path}), replacing
+    any previous dump, and return the path written.  Called automatically
+    on every [internal_error] reply; the CLI wires it to SIGUSR1. *)
 
 (** {1 Client} *)
 

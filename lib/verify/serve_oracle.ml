@@ -117,6 +117,8 @@ let oracle_config () =
     workers = 2;
     default_deadline_ms = 0.;
     max_request_bytes = 4096;
+    flight_cap = 256;
+    log_requests = false;
   }
 
 let size_request ~id c =
@@ -283,6 +285,188 @@ let concurrent_clients c socket expected =
   let verdicts = Array.to_list (Array.map Domain.join domains) in
   all_of (List.map (fun v () -> v) verdicts)
 
+(* Telemetry must only observe.  A deterministic op (kron — no wall-clock
+   fields, no global counters in the reply) answered with and without
+   ["telemetry": true] must differ by exactly that one trailing member:
+   stripping it restores the plain reply byte for byte.  For [size] —
+   whose health member carries wall-clock times — only the [result]
+   member is compared, plus the shape of the telemetry object itself. *)
+let strip_telemetry reply =
+  match reply with
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "telemetry") fields)
+  | v -> v
+
+let with_telemetry req =
+  match req with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("telemetry", Json.Bool true) ])
+  | v -> v
+
+let check_telemetry_shape ~what reply =
+  match Json.member "telemetry" reply with
+  | None -> failf "%s: telemetry-enabled reply has no telemetry member" what
+  | Some t ->
+      all_of
+        [
+          (fun () ->
+            match Json.mem_int "request_id" t with
+            | Some rid when rid >= 1 -> Pass
+            | _ -> failf "%s: telemetry.request_id missing or < 1" what);
+          (fun () ->
+            match (Json.mem_number "queue_ms" t, Json.mem_number "service_ms" t) with
+            | Some q, Some s when q >= 0. && s >= 0. -> Pass
+            | _ -> failf "%s: telemetry queue_ms/service_ms missing or negative" what);
+          (fun () ->
+            match Json.member "spans" t with
+            | Some (Json.List spans) ->
+                if
+                  List.for_all
+                    (fun s -> match Json.mem_string "name" s with Some _ -> true | None -> false)
+                    spans
+                then Pass
+                else failf "%s: telemetry span without a name" what
+            | _ -> failf "%s: telemetry.spans is not a list" what);
+          (fun () ->
+            match Json.member "cache" t with
+            | Some (Json.Obj _) -> Pass
+            | _ -> failf "%s: telemetry.cache is not an object" what);
+        ]
+
+let telemetry_probe c socket expected =
+  let kron_req ~id =
+    Json.Obj
+      [
+        ("id", Json.Num (float_of_int id));
+        ("op", Json.Str "kron");
+        ("dims", Json.List [ Json.Num 3.; Json.Num 4. ]);
+        ("rates", Json.List [ Json.Num 1.; Json.Num 2. ]);
+      ]
+  in
+  match
+    ( Serve.request ~socket (kron_req ~id:9),
+      Serve.request ~socket (with_telemetry (kron_req ~id:9)),
+      Serve.request ~socket (with_telemetry (size_request ~id:10 c)) )
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> failf "telemetry probe: %s" e
+  | Ok plain, Ok tele, Ok tele_size ->
+      all_of
+        [
+          (fun () ->
+            if status_of plain = "ok" && status_of tele = "ok" then Pass
+            else failf "telemetry kron: statuses %s/%s" (status_of plain) (status_of tele));
+          (fun () ->
+            let stripped = Json.encode (strip_telemetry tele) in
+            let want = Json.encode plain in
+            if stripped = want then Pass
+            else
+              failf "telemetry kron: stripped reply differs from plain:\n  stripped %s\n  plain    %s"
+                stripped want);
+          (fun () -> check_telemetry_shape ~what:"telemetry kron" tele);
+          (fun () ->
+            match Json.member "result" tele_size with
+            | Some r when Json.encode r = expected -> Pass
+            | Some r ->
+                failf "telemetry size: result differs from direct call:\n  daemon  %s\n  direct  %s"
+                  (Json.encode r) expected
+            | None -> failf "telemetry size: no result member");
+          (fun () -> check_telemetry_shape ~what:"telemetry size" tele_size);
+        ]
+
+(* The IO loop's stats must conserve: everything accepted is completed,
+   failed, or still in flight — and at quiescence (every reply of this
+   oracle already read off the socket; stats commit before the reply is
+   written) nothing is in flight.  The per-op table must sum to the
+   totals. *)
+let stats_probe socket =
+  match Serve.request ~socket (Json.Obj [ ("op", Json.Str "stats") ]) with
+  | Error e -> failf "stats probe: %s" e
+  | Ok reply ->
+      let int_field what v name =
+        match Json.mem_int name v with
+        | Some n -> Ok n
+        | None -> Result.Error (Printf.sprintf "%s: stats field %s missing" what name)
+      in
+      let ( let* ) r f = match r with Ok v -> f v | Error e -> Fail ("stats probe: " ^ e) in
+      let* accepted = int_field "totals" reply "accepted" in
+      let* completed = int_field "totals" reply "completed" in
+      let* failed = int_field "totals" reply "failed" in
+      let* in_flight = int_field "totals" reply "in_flight" in
+      all_of
+        [
+          (fun () ->
+            if accepted = completed + failed + in_flight then Pass
+            else
+              failf "stats: accepted %d <> completed %d + failed %d + in_flight %d" accepted
+                completed failed in_flight);
+          (fun () ->
+            if in_flight = 0 then Pass
+            else failf "stats: %d in flight at quiescence" in_flight);
+          (fun () ->
+            if accepted > 0 then Pass
+            else failf "stats: accepted %d, but this oracle dispatched work" accepted);
+          (fun () ->
+            match Json.member "ops" reply with
+            | Some (Json.Obj per_op) ->
+                let sum name =
+                  List.fold_left
+                    (fun acc (_, v) -> acc + Option.value ~default:0 (Json.mem_int name v))
+                    0 per_op
+                in
+                if sum "accepted" = accepted && sum "completed" = completed && sum "failed" = failed
+                then Pass
+                else
+                  failf "stats: per-op sums (%d/%d/%d) don't match totals (%d/%d/%d)"
+                    (sum "accepted") (sum "completed") (sum "failed") accepted completed failed
+            | _ -> failf "stats: ops is not an object");
+        ]
+
+(* Every flight-recorder record must be a completed request this oracle's
+   clients saw: ops it sent, outcomes it received, latencies non-negative,
+   count consistent with the stats totals. *)
+let flight_probe socket =
+  match
+    ( Serve.request ~socket (Json.Obj [ ("op", Json.Str "stats") ]),
+      Serve.request ~socket (Json.Obj [ ("op", Json.Str "flight") ]) )
+  with
+  | Error e, _ | _, Error e -> failf "flight probe: %s" e
+  | Ok stats, Ok reply -> (
+      match (Json.member "records" reply, Json.mem_int "capacity" reply) with
+      | Some (Json.List records), Some cap ->
+          let finished =
+            Option.value ~default:0 (Json.mem_int "completed" stats)
+            + Option.value ~default:0 (Json.mem_int "failed" stats)
+          in
+          all_of
+            [
+              (fun () ->
+                if List.length records = Int.min cap finished then Pass
+                else
+                  failf "flight: %d records, want min(capacity %d, finished %d)"
+                    (List.length records) cap finished);
+              (fun () ->
+                let sent_ops = [ "size"; "kron"; "chaos" ] in
+                let ok_rec r =
+                  (match Json.mem_string "op" r with
+                  | Some op -> List.mem op sent_ops
+                  | None -> false)
+                  && (match Json.mem_string "outcome" r with
+                     | Some ("ok" | "degraded" | "internal_error") -> true
+                     | Some _ | None -> false)
+                  && (match Json.mem_number "queue_ms" r with Some q -> q >= 0. | None -> false)
+                  &&
+                  match Json.mem_number "service_ms" r with Some s -> s >= 0. | None -> false
+                in
+                match List.find_opt (fun r -> not (ok_rec r)) records with
+                | None -> Pass
+                | Some r -> failf "flight: implausible record %s" (Json.encode r));
+              (fun () ->
+                let rids =
+                  List.filter_map (fun r -> Json.mem_int "request_id" r) records
+                in
+                if List.length (List.sort_uniq compare rids) = List.length records then Pass
+                else failf "flight: duplicate or missing request ids");
+            ]
+      | _ -> failf "flight: reply missing records/capacity")
+
 (* Under BUFSIZE_CHAOS=1, crash a handler on purpose: the reply must be a
    typed internal_error and the server must still answer afterwards. *)
 let chaos_probe c socket expected =
@@ -321,7 +505,10 @@ let check_serve_case c =
             [
               (fun () -> pipelined_batch c socket expected);
               (fun () -> concurrent_clients c socket expected);
+              (fun () -> telemetry_probe c socket expected);
               (fun () -> chaos_probe c socket expected);
+              (fun () -> stats_probe socket);
+              (fun () -> flight_probe socket);
               (fun () ->
                 (* Survival: the server still answers ping at the end. *)
                 match

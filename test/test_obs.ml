@@ -247,6 +247,196 @@ let test_jsonl_and_metrics_json_well_formed () =
         [ "span"; "counter"; "histogram"; "gc"; "dropped_spans" ]);
   fresh ()
 
+(* ----------------------------------------------------------- quantiles *)
+
+(* The estimator's contract (obs.mli): the estimate falls inside the
+   bucket that contains the true order statistic.  Checked against a
+   sorted-sample oracle over random samples, for the SLO quantiles the
+   stats endpoint serves. *)
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let bucket_range bounds i =
+  let n = Array.length bounds in
+  ( (if i = 0 then Float.neg_infinity else bounds.(i - 1)),
+    if i >= n then Float.infinity else bounds.(i) )
+
+let quantile_qs = [ 0.5; 0.95; 0.99 ]
+
+let test_prop_quantile_vs_sorted_oracle () =
+  fresh ();
+  let h = Obs.histogram_with_bounds "test.quantile.h" Obs.latency_ms_bounds in
+  let arb = QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000)) in
+  qcheck ~count:200 "quantile estimate lands in the true order statistic's bucket" arb
+    (fun raw ->
+      Obs.reset ();
+      let sample = List.map (fun i -> float_of_int i /. 100.) raw in
+      List.iter (Obs.observe_always h) sample;
+      let s = Obs.histogram_value h in
+      let sorted = Array.of_list (List.sort compare sample) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let rank = Int.max 1 (Int.min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+          let true_stat = sorted.(rank - 1) in
+          let lo, hi = bucket_range Obs.latency_ms_bounds (bucket_of Obs.latency_ms_bounds true_stat) in
+          let e = Obs.quantile s q in
+          e >= lo -. 1e-9 && e <= hi +. 1e-9)
+        quantile_qs);
+  fresh ()
+
+(* Same multiset of observations scattered over different stripes in a
+   different order must give identical quantiles: the stripe merge is
+   invisible to the estimator. *)
+let test_prop_quantile_stripe_permutation () =
+  fresh ();
+  let h1 = Obs.histogram_with_bounds "test.quantile.p1" Obs.latency_ms_bounds in
+  let h2 = Obs.histogram_with_bounds "test.quantile.p2" Obs.latency_ms_bounds in
+  let arb =
+    QCheck.(list_of_size Gen.(1 -- 100) (pair (int_bound 1_000_000) (int_bound (Obs.Internal.stripes - 1))))
+  in
+  qcheck ~count:200 "quantiles are stripe-permutation invariant" arb (fun obs ->
+      Obs.reset ();
+      List.iter
+        (fun (v, stripe) -> Obs.Internal.observe_on_stripe h1 ~stripe (float_of_int v /. 100.))
+        obs;
+      List.iter
+        (fun (v, stripe) ->
+          Obs.Internal.observe_on_stripe h2
+            ~stripe:((stripe + 11) mod Obs.Internal.stripes)
+            (float_of_int v /. 100.))
+        (List.rev obs);
+      let s1 = Obs.histogram_value h1 and s2 = Obs.histogram_value h2 in
+      List.for_all (fun q -> Obs.quantile s1 q = Obs.quantile s2 q) quantile_qs);
+  fresh ()
+
+let test_histogram_bounds_mismatch_rejected () =
+  fresh ();
+  ignore (Obs.histogram_with_bounds "test.bounds.fixed" [| 1.; 2.; 4. |]);
+  (* Same bounds: idempotent. *)
+  ignore (Obs.histogram_with_bounds "test.bounds.fixed" [| 1.; 2.; 4. |]);
+  Alcotest.check_raises "different bounds for the same name rejected"
+    (Invalid_argument "Obs: histogram \"test.bounds.fixed\" registered with other bounds")
+    (fun () -> ignore (Obs.histogram_with_bounds "test.bounds.fixed" [| 1.; 2. |]));
+  Alcotest.check_raises "non-increasing bounds rejected"
+    (Invalid_argument "Obs.histogram_with_bounds: bounds must be strictly increasing")
+    (fun () -> ignore (Obs.histogram_with_bounds "test.bounds.bad" [| 1.; 1. |]))
+
+(* -------------------------------------------------------- flight ring *)
+
+(* Four domains hammer one ring.  Records are immutable pairs, so the
+   only way a reader could see a torn record is a bug in the slot
+   protocol; the test checks every surviving record is a value some
+   domain actually pushed, each domain's records surface in push order,
+   and the tail respects capacity exactly. *)
+let test_ring_concurrent_writes () =
+  let cap = 64 in
+  let per_domain = 1000 in
+  let ndomains = 4 in
+  let ring = Obs.Ring.create ~capacity:cap in
+  let domains =
+    Array.init ndomains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Obs.Ring.push ring (d, i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "every push counted" (ndomains * per_domain) (Obs.Ring.pushed ring);
+  let snap = Obs.Ring.snapshot ring in
+  List.iter
+    (fun (d, i) ->
+      if d < 0 || d >= ndomains || i < 0 || i >= per_domain then
+        Alcotest.failf "torn or foreign record (%d, %d)" d i)
+    snap;
+  (* Per-domain push order survives the merge. *)
+  for d = 0 to ndomains - 1 do
+    let mine = List.filter_map (fun (d', i) -> if d' = d then Some i else None) snap in
+    let rec ascending = function
+      | a :: (b :: _ as rest) -> a < b && ascending rest
+      | _ -> true
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "domain %d records in push order" d)
+      true (ascending mine)
+  done;
+  let tail = Obs.Ring.tail ring in
+  Alcotest.(check int) "tail is exactly the capacity" cap (List.length tail);
+  List.iter
+    (fun r ->
+      if not (List.mem r snap) then Alcotest.failf "tail record not in snapshot")
+    tail;
+  Obs.Ring.clear ring;
+  Alcotest.(check (list (pair int int))) "clear empties the ring" [] (Obs.Ring.snapshot ring)
+
+let test_ring_capacity_small () =
+  let ring = Obs.Ring.create ~capacity:3 in
+  for i = 1 to 10 do
+    Obs.Ring.push ring i
+  done;
+  Alcotest.(check (list int)) "tail keeps the newest capacity records" [ 8; 9; 10 ]
+    (Obs.Ring.tail ring)
+
+(* ------------------------------------------------------------ capture *)
+
+(* Per-request capture: spans flow to the caller's sink (across pool
+   domains) without global span recording being on, and without leaking
+   into the global buffers. *)
+let test_capture_collects_subtree () =
+  fresh ();
+  let (), spans, dropped =
+    Obs.with_capture (fun () ->
+        Obs.span ~name:"outer" (fun () -> Obs.span ~name:"inner" (fun () -> ())))
+  in
+  Alcotest.(check int) "two spans captured" 2 (List.length spans);
+  Alcotest.(check int) "nothing dropped" 0 dropped;
+  let outer = find_span "outer" spans in
+  let inner = find_span "inner" spans in
+  Alcotest.(check int) "parentage preserved" outer.Obs.sid inner.Obs.sparent;
+  Alcotest.(check bool) "start-time order" true
+    (outer.Obs.sstart_ns <= inner.Obs.sstart_ns);
+  Alcotest.(check int) "global buffers untouched" 0 (List.length (Obs.recorded_spans ()));
+  Alcotest.(check bool) "spans off again after capture" false (Obs.spans_enabled ());
+  fresh ()
+
+let test_capture_crosses_pool_domains () =
+  fresh ();
+  let pool = Pool.create ~oversubscribe:true 2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let (), spans, _ =
+        Obs.with_capture (fun () ->
+            Obs.span ~name:"submit" (fun () ->
+                ignore
+                  (Pool.map_array ~pool
+                     (fun i -> Obs.span ~name:"worker" (fun () -> i))
+                     (Array.init 8 Fun.id))))
+      in
+      let submit = find_span "submit" spans in
+      let workers = List.filter (fun s -> s.Obs.sname = "worker") spans in
+      Alcotest.(check int) "eight pooled spans captured" 8 (List.length workers);
+      List.iter
+        (fun w ->
+          Alcotest.(check int) "pooled span parented under submit" submit.Obs.sid
+            w.Obs.sparent)
+        workers);
+  fresh ()
+
+let test_capture_cap_counts_drops () =
+  fresh ();
+  let (), spans, dropped =
+    Obs.with_capture ~max_spans:2 (fun () ->
+        for i = 1 to 5 do
+          Obs.span ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+        done)
+  in
+  Alcotest.(check int) "capped at max_spans" 2 (List.length spans);
+  Alcotest.(check int) "overflow counted" 3 dropped;
+  fresh ()
+
 (* ------------------------------------------------------ only observes *)
 
 let small_traffic () =
@@ -307,6 +497,26 @@ let () =
           Alcotest.test_case "span_with_id cross-reference" `Quick
             test_span_with_id_cross_reference;
           Alcotest.test_case "pool context propagation" `Quick test_pool_context_propagation;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "estimate in true statistic's bucket (property)" `Quick
+            test_prop_quantile_vs_sorted_oracle;
+          Alcotest.test_case "stripe permutation invariance (property)" `Quick
+            test_prop_quantile_stripe_permutation;
+          Alcotest.test_case "bounds validation" `Quick test_histogram_bounds_mismatch_rejected;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "4-domain concurrent writes" `Quick test_ring_concurrent_writes;
+          Alcotest.test_case "small capacity tail" `Quick test_ring_capacity_small;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "collects the subtree off-globals" `Quick
+            test_capture_collects_subtree;
+          Alcotest.test_case "crosses pool domains" `Quick test_capture_crosses_pool_domains;
+          Alcotest.test_case "cap counts drops" `Quick test_capture_cap_counts_drops;
         ] );
       ( "exporters",
         [

@@ -46,6 +46,8 @@ let test_config () =
     workers = 2;
     default_deadline_ms = 0.;
     max_request_bytes = 512;
+    flight_cap = 8;
+    log_requests = false;
   }
 
 let with_server ?config f =
@@ -313,6 +315,197 @@ let test_concurrent_bitwise () =
           Alcotest.(check string) (Printf.sprintf "client %d bitwise" i) expected (result_str reply))
         domains)
 
+(* ------------------------------------------------- introspection tests *)
+
+let kron_request ~id ?(telemetry = false) () =
+  Json.Obj
+    ([
+       ("id", Json.Num (float_of_int id));
+       ("op", Json.Str "kron");
+       ("dims", Json.List [ Json.Num 3.; Json.Num 3. ]);
+       ("rates", Json.List [ Json.Num 1.; Json.Num 2. ]);
+     ]
+    @ if telemetry then [ ("telemetry", Json.Bool true) ] else [])
+
+let int_field what name r =
+  match Json.mem_int name r with
+  | Some n -> n
+  | None -> Alcotest.failf "%s: no int field %s in %s" what name (Json.encode r)
+
+let test_stats_op () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      for i = 1 to 3 do
+        ignore (ok_reply "size for stats" (Serve.request ~socket (size_request ~id:i)))
+      done;
+      let boom =
+        ok_reply "boom for stats" (Serve.request ~socket (Json.Obj [ ("op", Json.Str "boom") ]))
+      in
+      Alcotest.(check string) "boom failed" "error" (status boom);
+      let stats =
+        ok_reply "stats" (Serve.request ~socket (Json.Obj [ ("op", Json.Str "stats") ]))
+      in
+      Alcotest.(check string) "stats ok" "ok" (status stats);
+      let accepted = int_field "stats" "accepted" stats in
+      let completed = int_field "stats" "completed" stats in
+      let failed = int_field "stats" "failed" stats in
+      let in_flight = int_field "stats" "in_flight" stats in
+      Alcotest.(check int) "conservation" accepted (completed + failed + in_flight);
+      Alcotest.(check int) "quiescent" 0 in_flight;
+      Alcotest.(check int) "three sizes completed + boom failed" 4 (completed + failed);
+      Alcotest.(check int) "one failure" 1 failed;
+      let ops = Json.member_exn "ops" stats in
+      let size_stats = Json.member_exn "size" ops in
+      Alcotest.(check int) "per-op size completed" 3 (int_field "ops.size" "completed" size_stats);
+      let boom_stats = Json.member_exn "boom" ops in
+      Alcotest.(check int) "per-op boom failed" 1 (int_field "ops.boom" "failed" boom_stats);
+      Alcotest.(check bool) "uptime present" true
+        (Option.value ~default:(-1.) (Json.mem_number "uptime_s" stats) >= 0.);
+      Alcotest.(check int) "workers echoed" 2 (int_field "stats" "workers" stats))
+
+let strip_telemetry = function
+  | Json.Obj kvs -> Json.Obj (List.filter (fun (k, _) -> k <> "telemetry") kvs)
+  | v -> v
+
+let test_telemetry_strip_parity () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      let plain = ok_reply "plain kron" (Serve.request ~socket (kron_request ~id:21 ())) in
+      let tele =
+        ok_reply "telemetry kron" (Serve.request ~socket (kron_request ~id:21 ~telemetry:true ()))
+      in
+      Alcotest.(check string) "telemetry only appends: strip restores the plain reply"
+        (Json.encode plain)
+        (Json.encode (strip_telemetry tele));
+      let tm = Json.member_exn "telemetry" tele in
+      Alcotest.(check bool) "request_id positive" true (int_field "telemetry" "request_id" tm > 0);
+      Alcotest.(check bool) "queue_ms nonnegative" true
+        (Option.value ~default:(-1.) (Json.mem_number "queue_ms" tm) >= 0.);
+      Alcotest.(check bool) "service_ms nonnegative" true
+        (Option.value ~default:(-1.) (Json.mem_number "service_ms" tm) >= 0.);
+      (match Json.member_exn "spans" tm with
+      | Json.List spans ->
+          Alcotest.(check bool) "captured at least the request span" true (spans <> []);
+          List.iter
+            (fun s ->
+              ignore (int_field "span" "id" s);
+              ignore (Json.member_exn "name" s))
+            spans
+      | _ -> Alcotest.fail "telemetry.spans not a list");
+      ignore (Json.member_exn "cache" tm);
+      (* A size request's telemetry carries the handler's solver health. *)
+      let tele_size =
+        match size_request ~id:22 with
+        | Json.Obj kvs ->
+            ok_reply "telemetry size"
+              (Serve.request ~socket (Json.Obj (kvs @ [ ("telemetry", Json.Bool true) ])))
+        | _ -> assert false
+      in
+      let tm2 = Json.member_exn "telemetry" tele_size in
+      match Json.member_exn "solvers" tm2 with
+      | Json.Obj _ -> ()
+      | v -> Alcotest.failf "telemetry.solvers not an object: %s" (Json.encode v))
+
+let test_metrics_op () =
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      (* Latency histograms are process-global (registered by name), so
+         earlier tests' requests are already in them: assert the delta. *)
+      let size_count () =
+        let m =
+          ok_reply "metrics json" (Serve.request ~socket (Json.Obj [ ("op", Json.Str "metrics") ]))
+        in
+        Alcotest.(check string) "metrics ok" "ok" (status m);
+        match Json.member "serve.latency_ms.size" (Json.member_exn "histograms" (Json.member_exn "metrics" m)) with
+        | Some h -> (m, int_field "latency histogram" "count" h)
+        | None -> (m, 0)
+      in
+      let _, before = size_count () in
+      ignore (ok_reply "warm size" (Serve.request ~socket (size_request ~id:31)));
+      let m, after = size_count () in
+      Alcotest.(check int) "one more size observation" (before + 1) after;
+      let size_h =
+        Json.member_exn "serve.latency_ms.size"
+          (Json.member_exn "histograms" (Json.member_exn "metrics" m))
+      in
+      List.iter
+        (fun q ->
+          Alcotest.(check bool) (q ^ " present") true
+            (Option.is_some (Json.mem_number q size_h)))
+        [ "p50"; "p95"; "p99" ];
+      let prom =
+        ok_reply "metrics prometheus"
+          (Serve.request ~socket
+             (Json.Obj [ ("op", Json.Str "metrics"); ("prometheus", Json.Bool true) ]))
+      in
+      let text =
+        match Json.member "text" prom with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.fail "prometheus reply has no text member"
+      in
+      Alcotest.(check (option string)) "content type" (Some "text/plain; version=0.0.4")
+        (Json.mem_string "content_type" prom);
+      let has_line pred =
+        List.exists pred (String.split_on_char '\n' text)
+      in
+      Alcotest.(check bool) "exposition has the size histogram" true
+        (has_line (fun l -> l = "# TYPE serve_latency_ms_size histogram"));
+      Alcotest.(check bool) "exposition has cumulative buckets" true
+        (has_line (fun l ->
+             String.length l > 34
+             && String.sub l 0 34 = "serve_latency_ms_size_bucket{le=\"+")))
+
+let test_flight_op_and_cap () =
+  (* flight_cap 8 in the test config; send more than that. *)
+  with_server (fun t ->
+      let socket = Serve.socket_path t in
+      for i = 1 to 12 do
+        ignore (ok_reply "kron for flight" (Serve.request ~socket (kron_request ~id:i ())))
+      done;
+      let fl =
+        ok_reply "flight" (Serve.request ~socket (Json.Obj [ ("op", Json.Str "flight") ]))
+      in
+      Alcotest.(check string) "flight ok" "ok" (status fl);
+      Alcotest.(check int) "capacity echoed" 8 (int_field "flight" "capacity" fl);
+      Alcotest.(check int) "all pushes counted" 12 (int_field "flight" "recorded" fl);
+      match Json.member_exn "records" fl with
+      | Json.List records ->
+          Alcotest.(check int) "ring kept exactly capacity records" 8 (List.length records);
+          let rids = List.map (int_field "record" "request_id") records in
+          Alcotest.(check (list int)) "newest records, oldest first" (List.sort compare rids) rids;
+          List.iter
+            (fun r ->
+              Alcotest.(check (option string)) "op recorded" (Some "kron") (Json.mem_string "op" r);
+              Alcotest.(check (option string)) "outcome ok" (Some "ok")
+                (Json.mem_string "outcome" r))
+            records
+      | _ -> Alcotest.fail "flight.records not a list")
+
+let test_internal_error_dumps_flight () =
+  let cfg = test_config () in
+  let dump = cfg.Serve.socket_path ^ ".flight.jsonl" in
+  with_server ~config:cfg (fun t ->
+      let socket = Serve.socket_path t in
+      ignore (ok_reply "kron before boom" (Serve.request ~socket (kron_request ~id:41 ())));
+      Alcotest.(check bool) "no dump before a crash" false (Sys.file_exists dump);
+      let boom =
+        ok_reply "boom" (Serve.request ~socket (Json.Obj [ ("id", Json.Num 42.); ("op", Json.Str "boom") ]))
+      in
+      Alcotest.(check string) "boom kind" "internal_error" (error_kind boom);
+      (* The dump is written before the error reply, so it exists now. *)
+      Alcotest.(check bool) "dump written on internal_error" true (Sys.file_exists dump);
+      let ic = open_in dump in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      Sys.remove dump;
+      let records = List.map Json.parse_exn (List.filter (fun l -> l <> "") lines) in
+      Alcotest.(check int) "dump holds both requests" 2 (List.length records);
+      let last = List.nth records 1 in
+      Alcotest.(check (option string)) "crash recorded" (Some "internal_error")
+        (Json.mem_string "outcome" last);
+      Alcotest.(check (option string)) "crashing op recorded" (Some "boom")
+        (Json.mem_string "op" last))
+
 let () =
   Alcotest.run "serve"
     [
@@ -331,5 +524,14 @@ let () =
           Alcotest.test_case "typed errors" `Quick test_typed_errors;
           Alcotest.test_case "deadline zero" `Quick test_deadline_zero;
           Alcotest.test_case "overload and retry" `Quick test_overload_and_retry;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "stats counters conserve" `Quick test_stats_op;
+          Alcotest.test_case "telemetry strip parity" `Quick test_telemetry_strip_parity;
+          Alcotest.test_case "metrics json and prometheus" `Quick test_metrics_op;
+          Alcotest.test_case "flight ring and capacity" `Quick test_flight_op_and_cap;
+          Alcotest.test_case "internal_error dumps flight" `Quick
+            test_internal_error_dumps_flight;
         ] );
     ]
